@@ -1,0 +1,61 @@
+// E10 — Facts 15/16 and Theorem 17: the undecidability frontier. The
+// reductions faithfully simulate counter machines over succ-words, sibling
+// trees and data-pattern trees; the cost of *bounded* simulation grows
+// with the counter excursion (the databases must be as long/deep as the
+// peak counter value — exactly why no finite search can decide these
+// extensions).
+#include <benchmark/benchmark.h>
+
+#include "counter/machine.h"
+#include "counter/reductions.h"
+#include "system/concrete.h"
+
+namespace amalgam {
+namespace {
+
+void BM_SuccSimulation(benchmark::State& state) {
+  const int peak = static_cast<int>(state.range(0));
+  CounterMachine m = MachineCountUpDown(peak);
+  DdsSystem system = SuccWordSystem(m);
+  Structure path = PathDatabase(peak + 1, system.schema_ref());
+  bool found = false;
+  for (auto _ : state) {
+    found = FindAcceptingRun(system, path).has_value();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["accepts"] = found ? 1 : 0;
+}
+BENCHMARK(BM_SuccSimulation)->RangeMultiplier(2)->Range(2, 16)->Unit(benchmark::kMillisecond);
+
+void BM_SiblingTreeSimulation(benchmark::State& state) {
+  const int peak = static_cast<int>(state.range(0));
+  CounterMachine m = MachineCountUpDown(peak);
+  DdsSystem system = SiblingTreeSystem(m);
+  Structure tree = CaterpillarDatabase(peak + 1, system.schema_ref());
+  bool found = false;
+  for (auto _ : state) {
+    found = FindAcceptingRun(system, tree).has_value();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["accepts"] = found ? 1 : 0;
+}
+BENCHMARK(BM_SiblingTreeSimulation)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
+
+void BM_DataPatternSimulation(benchmark::State& state) {
+  const int peak = static_cast<int>(state.range(0));
+  CounterMachine m = MachineCountUpDown(peak);
+  DdsSystem system = DataPatternSystem(m);
+  Structure tree = ChainDataTree(peak + 1, system.schema_ref());
+  bool found = false;
+  for (auto _ : state) {
+    found = FindAcceptingRun(system, tree).has_value();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["accepts"] = found ? 1 : 0;
+}
+BENCHMARK(BM_DataPatternSimulation)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace amalgam
+
+BENCHMARK_MAIN();

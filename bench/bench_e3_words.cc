@@ -1,0 +1,79 @@
+// E3 — Theorem 10: word emptiness cost vs. automaton size. The pattern
+// space grows with the state count of the NFA (|Q|^s candidates per
+// partition, s bounded by marks + 2 * components), matching the
+// PSPACE-completeness of the combined problem.
+#include <benchmark/benchmark.h>
+
+#include "words/solve.h"
+#include "words/zoo.h"
+
+namespace amalgam {
+namespace {
+
+void BM_ModCounterSweep(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  Nfa nfa = NfaModCounter(p);
+  // Two strictly increasing hops.
+  auto schema = MakeWordSchema({"a"});
+  DdsSystem system(schema);
+  system.AddRegister("x");
+  int s0 = system.AddState("s0", true);
+  int s1 = system.AddState("s1");
+  int s2 = system.AddState("s2", false, true);
+  system.AddRule(s0, s1, "lt(x_old, x_new)");
+  system.AddRule(s1, s2, "lt(x_old, x_new)");
+  WordSolveResult last;
+  for (auto _ : state) {
+    last = SolveWordEmptiness(system, nfa, /*build_witness=*/false);
+    benchmark::DoNotOptimize(last.nonempty);
+  }
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+  state.counters["edges"] = static_cast<double>(last.stats.edges);
+}
+BENCHMARK(BM_ModCounterSweep)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+
+void BM_WitnessReconstruction(benchmark::State& state) {
+  // Amalgamation + completion included (build_witness = true): Theorem 10
+  // with a constructive answer. The witness for mod-p has length p.
+  const int p = static_cast<int>(state.range(0));
+  Nfa nfa = NfaModCounter(p);
+  auto schema = MakeWordSchema({"a"});
+  DdsSystem system(schema);
+  system.AddRegister("x");
+  int s0 = system.AddState("s0", true);
+  int s1 = system.AddState("s1", false, true);
+  system.AddRule(s0, s1, "lt(x_old, x_new)");
+  std::size_t witness_len = 0;
+  for (auto _ : state) {
+    auto r = SolveWordEmptiness(system, nfa, /*build_witness=*/true);
+    witness_len = r.witness.has_value() ? r.witness->letters.size() : 0;
+    benchmark::DoNotOptimize(witness_len);
+  }
+  state.counters["witness_len"] = static_cast<double>(witness_len);
+}
+BENCHMARK(BM_WitnessReconstruction)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+
+void BM_BruteForceBaseline(benchmark::State& state) {
+  // The naive decision procedure: enumerate words up to the length where
+  // the witness appears. Exponential in the witness length, versus the
+  // amalgamation solver's pattern search.
+  const int p = static_cast<int>(state.range(0));
+  Nfa nfa = NfaModCounter(p);
+  auto schema = MakeWordSchema({"a"});
+  DdsSystem system(schema);
+  system.AddRegister("x");
+  int s0 = system.AddState("s0", true);
+  int s1 = system.AddState("s1", false, true);
+  system.AddRule(s0, s1, "lt(x_old, x_new)");
+  for (auto _ : state) {
+    auto w = BruteForceWordSearch(system, nfa, p + 2);
+    benchmark::DoNotOptimize(w.has_value());
+  }
+}
+BENCHMARK(BM_BruteForceBaseline)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace amalgam
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// E4 — Theorem 3: tree emptiness. Fixed automaton: cost polynomial-ish in
+// the system; growing the pattern cap (the proxy for automaton size /
+// blowup) blows the candidate space up — the EXPSPACE face of the combined
+// problem.
+#include <benchmark/benchmark.h>
+
+#include "trees/solve.h"
+#include "trees/zoo.h"
+
+namespace amalgam {
+namespace {
+
+void BM_DescendSteps(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  TreeAutomaton chains = TaChains();
+  DdsSystem system = DescendSystem(chains, steps);
+  TreeSolveResult last;
+  for (auto _ : state) {
+    last = SolveTreeEmptiness(system, chains, /*witness_size_cap=*/0,
+                              /*extra_pattern_cap=*/3);
+    benchmark::DoNotOptimize(last.nonempty);
+  }
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+}
+BENCHMARK(BM_DescendSteps)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+void BM_PatternCapSweep(benchmark::State& state) {
+  const int cap = static_cast<int>(state.range(0));
+  TreeAutomaton comb = TaComb();
+  DdsSystem system = DescendSystem(comb, 2);
+  TreeSolveResult last;
+  for (auto _ : state) {
+    last = SolveTreeEmptiness(system, comb, /*witness_size_cap=*/0, cap);
+    benchmark::DoNotOptimize(last.nonempty);
+  }
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+  state.counters["configs"] = static_cast<double>(last.stats.configs);
+}
+BENCHMARK(BM_PatternCapSweep)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+void BM_TreeBruteForceBaseline(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  TreeAutomaton comb = TaComb();
+  DdsSystem system = DescendSystem(comb, steps);
+  for (auto _ : state) {
+    auto w = BruteForceTreeSearch(system, comb, steps + 2);
+    benchmark::DoNotOptimize(w.has_value());
+  }
+}
+BENCHMARK(BM_TreeBruteForceBaseline)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace amalgam
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// E5 — Lemma 14: the blowup of the tree run class is c * n — the pointer
+// closure of n seeds grows linearly in n with a constant depending on the
+// automaton (exponential in |Q| in the worst case). Measured directly by
+// closing random seed sets in runs of enumerated trees.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "trees/pattern.h"
+#include "trees/zoo.h"
+
+namespace amalgam {
+namespace {
+
+void MeasureClosure(benchmark::State& state, TreeAutomaton ta,
+                    int tree_size) {
+  const int seeds_count = static_cast<int>(state.range(0));
+  TreePatternOracle oracle(&ta);
+  std::mt19937 rng(42);
+  // Collect accepted trees with runs once.
+  std::vector<std::pair<Tree, std::vector<int>>> pool;
+  ForEachTree(tree_size, ta.num_labels(), [&](const Tree& t) {
+    auto run = ta.FindRun(t);
+    if (run.has_value() && pool.size() < 64) pool.emplace_back(t, *run);
+  });
+  if (pool.empty()) {
+    state.SkipWithError("no accepted trees");
+    return;
+  }
+  std::size_t max_closure = 0;
+  double total = 0, samples = 0;
+  for (auto _ : state) {
+    const auto& [t, run] = pool[rng() % pool.size()];
+    std::vector<int> seeds;
+    for (int i = 0; i < seeds_count; ++i) {
+      seeds.push_back(static_cast<int>(rng() % t.size()));
+    }
+    auto closure = oracle.PointerClosure(t, run, seeds);
+    max_closure = std::max(max_closure, closure.size());
+    total += static_cast<double>(closure.size());
+    samples += 1;
+    benchmark::DoNotOptimize(closure.size());
+  }
+  state.counters["max_closure"] = static_cast<double>(max_closure);
+  state.counters["avg_closure"] = total / samples;
+  state.counters["ratio_to_n"] =
+      static_cast<double>(max_closure) / seeds_count;
+}
+
+void BM_ClosureChains(benchmark::State& state) {
+  MeasureClosure(state, TaChains(), 7);
+}
+BENCHMARK(BM_ClosureChains)->DenseRange(1, 4);
+
+void BM_ClosureComb(benchmark::State& state) {
+  MeasureClosure(state, TaComb(), 7);
+}
+BENCHMARK(BM_ClosureComb)->DenseRange(1, 4);
+
+void BM_ClosureAllTrees(benchmark::State& state) {
+  MeasureClosure(state, TaAllTrees(), 6);
+}
+BENCHMARK(BM_ClosureAllTrees)->DenseRange(1, 4);
+
+}  // namespace
+}  // namespace amalgam
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// E6 — Proposition 1: adding data values (<N,=> or <Q,<>) keeps the blowup
+// function unchanged; the cost grows only by the number of data parts per
+// base member (Bell / ordered-Bell factors on the member size, not on the
+// databases).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "fraisse/data_class.h"
+#include "fraisse/relational.h"
+#include "solver/emptiness.h"
+#include "system/zoo.h"
+
+namespace amalgam {
+namespace {
+
+DdsSystem WalkSystem(const SchemaRef& schema, const std::string& extra) {
+  DdsSystem system(schema);
+  system.AddRegister("x");
+  int s0 = system.AddState("s0", true);
+  int s1 = system.AddState("s1");
+  int s2 = system.AddState("s2", false, true);
+  std::string guard = "E(x_old, x_new)" + extra;
+  system.AddRule(s0, s1, guard);
+  system.AddRule(s1, s2, guard);
+  return system;
+}
+
+void BM_NoData(benchmark::State& state) {
+  AllStructuresClass cls(GraphZooSchema());
+  DdsSystem system = WalkSystem(GraphZooSchema(), "");
+  SolveResult last;
+  for (auto _ : state) {
+    last = SolveEmptiness(system, cls, SolveOptions{.build_witness = false});
+  }
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+}
+BENCHMARK(BM_NoData)->Unit(benchmark::kMillisecond);
+
+void BM_WithEquality(benchmark::State& state) {
+  auto base = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  DataClass cls(base, DataDomain::kNaturalsWithEquality, false);
+  DdsSystem system = WalkSystem(cls.schema(), " & deq(x_old, x_new)");
+  SolveResult last;
+  for (auto _ : state) {
+    last = SolveEmptiness(system, cls, SolveOptions{.build_witness = false});
+  }
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+}
+BENCHMARK(BM_WithEquality)->Unit(benchmark::kMillisecond);
+
+void BM_WithOrder(benchmark::State& state) {
+  auto base = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  DataClass cls(base, DataDomain::kRationalsWithOrder, false);
+  DdsSystem system = WalkSystem(cls.schema(), " & dlt(x_new, x_old)");
+  SolveResult last;
+  for (auto _ : state) {
+    last = SolveEmptiness(system, cls, SolveOptions{.build_witness = false});
+  }
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+}
+BENCHMARK(BM_WithOrder)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace amalgam
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// E7 — Fact 2: eliminating positive existential quantifiers from guards is
+// a linear-time compilation (one fresh register per quantifier, shared
+// across rules).
+#include <benchmark/benchmark.h>
+
+#include "system/dds.h"
+#include "system/zoo.h"
+
+namespace amalgam {
+namespace {
+
+DdsSystem SystemWithQuantifiers(int quantifiers, int rules) {
+  DdsSystem system(GraphZooSchema());
+  system.AddRegister("x");
+  int a = system.AddState("a", true);
+  int b = system.AddState("b", false, true);
+  for (int r = 0; r < rules; ++r) {
+    std::string guard = "x_new = x_old";
+    std::string binders;
+    for (int q = 0; q < quantifiers; ++q) {
+      std::string v = "z" + std::to_string(q);
+      binders += (q ? ", " : "") + v;
+    }
+    if (quantifiers > 0) {
+      std::string body = "E(x_old, z0)";
+      for (int q = 1; q < quantifiers; ++q) {
+        body += " & E(z" + std::to_string(q - 1) + ", z" +
+                std::to_string(q) + ")";
+      }
+      guard += " & exists " + binders + ": (" + body + ")";
+    }
+    system.AddRule(a, r % 2 == 0 ? b : a, guard);
+  }
+  return system;
+}
+
+void BM_EliminateExistentials(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  DdsSystem system = SystemWithQuantifiers(q, 4);
+  int registers = 0;
+  for (auto _ : state) {
+    DdsSystem qf = EliminateExistentials(system);
+    registers = qf.num_registers();
+    benchmark::DoNotOptimize(registers);
+  }
+  state.counters["registers_after"] = registers;
+}
+BENCHMARK(BM_EliminateExistentials)->DenseRange(1, 6);
+
+void BM_EliminationScalesWithRules(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  DdsSystem system = SystemWithQuantifiers(3, rules);
+  for (auto _ : state) {
+    DdsSystem qf = EliminateExistentials(system);
+    benchmark::DoNotOptimize(qf.rules().size());
+  }
+}
+BENCHMARK(BM_EliminationScalesWithRules)->RangeMultiplier(2)->Range(2, 64);
+
+}  // namespace
+}  // namespace amalgam
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// E9 — Lemma 1: PSPACE-hardness. The linear-space TM reduction's output
+// grows linearly in the tape, but deciding it blows up exponentially in
+// the register count (the partition lattice over 2k marks) — the lower
+// bound showing through the generic solver.
+#include <benchmark/benchmark.h>
+
+#include "counter/reductions.h"
+#include "fraisse/relational.h"
+#include "solver/emptiness.h"
+
+namespace amalgam {
+namespace {
+
+// A TM that sweeps right flipping 0 -> 1, then accepts at the right end.
+LinearTm SweepTm(int tape) {
+  LinearTm tm;
+  tm.tape_len = tape;
+  int s = tm.AddState();
+  int acc = tm.AddState();
+  tm.start = s;
+  tm.accept = acc;
+  tm.SetTransition(s, 0, 1, +1, s);
+  tm.SetTransition(s, 1, 1, 0, acc);
+  return tm;
+}
+
+void BM_ReductionSize(benchmark::State& state) {
+  const int tape = static_cast<int>(state.range(0));
+  LinearTm tm = SweepTm(tape);
+  std::size_t rules = 0;
+  for (auto _ : state) {
+    DdsSystem system = LinearSpaceTmSystem(tm);
+    rules = system.rules().size();
+    benchmark::DoNotOptimize(rules);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_ReductionSize)->DenseRange(1, 8);
+
+void BM_SolveReducedSystem(benchmark::State& state) {
+  const int tape = static_cast<int>(state.range(0));
+  LinearTm tm = SweepTm(tape);
+  DdsSystem system = LinearSpaceTmSystem(tm);
+  AllStructuresClass cls(system.schema_ref());
+  SolveResult last;
+  for (auto _ : state) {
+    last = SolveEmptiness(system, cls, SolveOptions{.build_witness = false});
+    benchmark::DoNotOptimize(last.nonempty);
+  }
+  state.counters["nonempty"] = last.nonempty ? 1 : 0;
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+}
+// tape n => n + 1 registers => Bell(2n + 2) candidates: 2 -> 4140,
+// 3 -> 115975, 4 -> 4213597.
+BENCHMARK(BM_SolveReducedSystem)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace amalgam
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Data-centric business process verification (Theorem 4 + Corollary 8).
+//
+// Scenario: a purchase workflow reads a database of requests and approvals.
+// Schema: approves(u, r) — user u approves request r; owner(u, r) — u filed
+// r; manager(u) — u is a manager. The company constrains databases by a
+// template H (HOM(H)): only managers approve. The bad behavior: a request
+// approved by its own (manager) owner. Emptiness over HOM(H~) decides
+// whether the constraint alone rules the bad behavior out — it does not,
+// and the solver produces a concrete counterexample database.
+#include <cstdio>
+
+#include "fraisse/hom_class.h"
+#include "solver/emptiness.h"
+#include "system/concrete.h"
+
+using namespace amalgam;
+
+int main() {
+  Schema schema;
+  schema.AddRelation("approves", 2);
+  schema.AddRelation("owner", 2);
+  schema.AddRelation("manager", 1);
+  auto schema_ref = MakeSchema(std::move(schema));
+
+  // Template H: element 0 = a manager, element 1 = a regular user,
+  // element 2 = a request. Only managers approve; anyone may own.
+  Structure h(schema_ref, 3);
+  h.SetHolds1(2, 0);           // manager(0)
+  h.SetHolds2(0, 0, 2);        // approves(manager, request)
+  h.SetHolds2(1, 0, 2);        // owner(manager, request)
+  h.SetHolds2(1, 1, 2);        // owner(user, request)
+
+  DdsSystem system(schema_ref);
+  system.AddRegister("u");
+  system.AddRegister("r");
+  int scan = system.AddState("scan", /*initial=*/true);
+  int bad = system.AddState("self_approval", false, /*accepting=*/true);
+  // Walk to any (user, request) pair, then catch self-approval.
+  system.AddRule(scan, scan, "true");
+  system.AddRule(scan, bad,
+                 "u_new = u_old & r_new = r_old & owner(u_old, r_old) & "
+                 "approves(u_old, r_old)");
+
+  LiftedHomClass constrained(h);
+  SolveResult r = SolveEmptiness(system, constrained);
+  std::printf("self-approval reachable under the schema constraint: %s\n",
+              r.nonempty ? "YES" : "no");
+  if (r.witness_db.has_value()) {
+    std::printf("counterexample database (with Lemma 7 colors):\n  %s\n",
+                r.witness_db->ToString().c_str());
+    std::printf("run validates: %s\n",
+                ValidateAcceptingRun(system, *r.witness_db, *r.witness_run)
+                    ? "yes"
+                    : "NO");
+  }
+
+  // Fix the policy in the template: owners never approve — encode by
+  // splitting requests into "owned by manager" vs "owned by user" and only
+  // letting the non-owner manager approve. With separate approver/owner
+  // template elements the bad pattern needs approves+owner on one pair,
+  // which H' forbids.
+  Structure h2(schema_ref, 4);
+  h2.SetHolds1(2, 0);     // manager approver
+  h2.SetHolds1(2, 1);     // manager owner
+  h2.SetHolds2(0, 0, 3);  // approver approves request
+  h2.SetHolds2(1, 1, 3);  // owner owns request
+  h2.SetHolds2(1, 2, 3);  // regular user owns request
+  LiftedHomClass fixed(h2);
+  SolveResult r2 =
+      SolveEmptiness(system, fixed, SolveOptions{.build_witness = false});
+  std::printf("after the policy fix: self-approval reachable: %s\n",
+              r2.nonempty ? "YES (still!)" : "no — verified for ALL "
+                                             "databases satisfying the "
+                                             "constraint");
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "base/canonical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <map>
+
+#include "util/enumerate.h"
+
+namespace amalgam {
+
+namespace {
+
+// One refinement round: each element's new color is determined by its old
+// color plus how it relates to each color class through every relation and
+// function of arity <= 2 (higher arities contribute through the exhaustive
+// phase instead; they are rare in this library).
+std::vector<int> RefineOnce(const Structure& s, const std::vector<int>& color) {
+  const std::size_t n = s.size();
+  // Signature: old color + per-symbol summaries.
+  std::vector<std::vector<std::int64_t>> sig(n);
+  for (std::size_t e = 0; e < n; ++e) sig[e].push_back(color[e]);
+  const int num_colors =
+      n == 0 ? 0 : 1 + *std::max_element(color.begin(), color.end());
+  for (int r = 0; r < s.schema().num_relations(); ++r) {
+    const int arity = s.schema().relation(r).arity;
+    if (arity == 1) {
+      for (Elem e = 0; e < n; ++e) sig[e].push_back(s.Holds1(r, e) ? 1 : 0);
+    } else if (arity == 2) {
+      for (Elem e = 0; e < n; ++e) {
+        std::vector<std::int64_t> out_counts(num_colors, 0);
+        std::vector<std::int64_t> in_counts(num_colors, 0);
+        std::int64_t self = s.Holds2(r, e, e) ? 1 : 0;
+        for (Elem x = 0; x < n; ++x) {
+          if (s.Holds2(r, e, x)) ++out_counts[color[x]];
+          if (s.Holds2(r, x, e)) ++in_counts[color[x]];
+        }
+        sig[e].push_back(self);
+        sig[e].insert(sig[e].end(), out_counts.begin(), out_counts.end());
+        sig[e].insert(sig[e].end(), in_counts.begin(), in_counts.end());
+      }
+    }
+  }
+  for (int f = 0; f < s.schema().num_functions(); ++f) {
+    const int arity = s.schema().function(f).arity;
+    if (arity == 0) {
+      if (n == 0) continue;
+      Elem c = s.Apply(f, {});
+      for (Elem e = 0; e < n; ++e) sig[e].push_back(e == c ? 1 : 0);
+    } else if (arity == 1) {
+      for (Elem e = 0; e < n; ++e) {
+        sig[e].push_back(color[s.Apply1(f, e)]);
+        sig[e].push_back(s.Apply1(f, e) == e ? 1 : 0);
+        std::vector<std::int64_t> pre_counts(num_colors, 0);
+        for (Elem x = 0; x < n; ++x) {
+          if (s.Apply1(f, x) == e) ++pre_counts[color[x]];
+        }
+        sig[e].insert(sig[e].end(), pre_counts.begin(), pre_counts.end());
+      }
+    } else if (arity == 2) {
+      for (Elem e = 0; e < n; ++e) {
+        // Multiset over x of (color(x), color(f(e,x))) — flattened as a
+        // count matrix.
+        std::vector<std::int64_t> counts(
+            static_cast<std::size_t>(num_colors) * num_colors, 0);
+        for (Elem x = 0; x < n; ++x) {
+          ++counts[static_cast<std::size_t>(color[x]) * num_colors +
+                   color[s.Apply2(f, e, x)]];
+        }
+        sig[e].insert(sig[e].end(), counts.begin(), counts.end());
+        sig[e].push_back(s.Apply2(f, e, e) == e ? 1 : 0);
+      }
+    }
+  }
+  // Canonical renumbering: sort distinct signatures.
+  std::map<std::vector<std::int64_t>, int> order;
+  for (const auto& g : sig) order.emplace(g, 0);
+  int next = 0;
+  for (auto& [key, id] : order) id = next++;
+  std::vector<int> result(n);
+  for (std::size_t e = 0; e < n; ++e) result[e] = order[sig[e]];
+  return result;
+}
+
+}  // namespace
+
+std::vector<int> RefineColors(const Structure& s,
+                              std::span<const Elem> marks) {
+  const std::size_t n = s.size();
+  // Initial colors: the pattern of mark positions pointing at each element
+  // plus unary relation memberships (the latter is subsumed by refinement
+  // but cheap and helps the first round).
+  std::vector<std::vector<std::int64_t>> sig(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    for (std::size_t i = 0; i < marks.size(); ++i) {
+      sig[e].push_back(marks[i] == e ? 1 : 0);
+    }
+  }
+  std::map<std::vector<std::int64_t>, int> order;
+  for (const auto& g : sig) order.emplace(g, 0);
+  int next = 0;
+  for (auto& [key, id] : order) id = next++;
+  std::vector<int> color(n);
+  for (std::size_t e = 0; e < n; ++e) color[e] = order[sig[e]];
+
+  while (true) {
+    std::vector<int> refined = RefineOnce(s, color);
+    if (refined == color) return color;
+    color = std::move(refined);
+  }
+}
+
+CanonicalForm Canonicalize(const Structure& s, std::span<const Elem> marks) {
+  const std::size_t n = s.size();
+  std::vector<int> color = RefineColors(s, marks);
+
+  // Elements sorted by (color, id); the canonical permutation must order
+  // elements by color class; within a class we try every ordering and keep
+  // the lexicographically smallest encoding.
+  std::vector<std::vector<Elem>> classes;
+  {
+    const int num_colors =
+        n == 0 ? 0 : 1 + *std::max_element(color.begin(), color.end());
+    classes.resize(num_colors);
+    for (Elem e = 0; e < n; ++e) classes[color[e]].push_back(e);
+  }
+
+  std::string best_key;
+  Structure best_structure(s.schema_ref(), 0);
+  std::vector<Elem> best_marks;
+  std::vector<Elem> best_perm;
+  bool have_best = false;
+
+  // perm[old] = new position.
+  std::vector<Elem> perm(n, kNoElem);
+  std::function<void(std::size_t, Elem)> assign = [&](std::size_t class_idx,
+                                                      Elem next_position) {
+    if (class_idx == classes.size()) {
+      Structure renamed = s.ApplyPermutation(perm);
+      std::vector<Elem> renamed_marks(marks.size());
+      for (std::size_t i = 0; i < marks.size(); ++i) {
+        renamed_marks[i] = perm[marks[i]];
+      }
+      std::string key;
+      key.reserve(marks.size() + 8);
+      for (Elem m : renamed_marks) key.push_back(static_cast<char>(m));
+      key.push_back('\x01');
+      key += renamed.EncodeContent();
+      if (!have_best || key < best_key) {
+        best_key = std::move(key);
+        best_structure = std::move(renamed);
+        best_marks = std::move(renamed_marks);
+        best_perm = perm;
+        have_best = true;
+      }
+      return;
+    }
+    std::vector<Elem>& cls = classes[class_idx];
+    std::sort(cls.begin(), cls.end());
+    std::vector<Elem> ordering = cls;
+    do {
+      for (std::size_t i = 0; i < ordering.size(); ++i) {
+        perm[ordering[i]] = next_position + static_cast<Elem>(i);
+      }
+      assign(class_idx + 1, next_position + static_cast<Elem>(cls.size()));
+    } while (std::next_permutation(ordering.begin(), ordering.end()));
+    for (Elem e : cls) perm[e] = kNoElem;
+  };
+  assign(0, 0);
+
+  assert(have_best || n == 0);
+  if (!have_best) {
+    // Empty domain: single canonical form.
+    best_structure = Structure(s.schema_ref(), 0);
+    best_key = std::string("\x01") + best_structure.EncodeContent();
+  }
+  return CanonicalForm{std::move(best_structure), std::move(best_marks),
+                       std::move(best_key), std::move(best_perm)};
+}
+
+}  // namespace amalgam

@@ -1,0 +1,98 @@
+#include "base/schema.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace amalgam {
+
+int Schema::AddRelation(std::string name, int arity) {
+  assert(arity >= 0);
+  if (RelationId(name) >= 0 || FunctionId(name) >= 0) {
+    throw std::invalid_argument("duplicate symbol name: " + name);
+  }
+  relations_.push_back(Symbol{std::move(name), arity});
+  return static_cast<int>(relations_.size()) - 1;
+}
+
+int Schema::AddFunction(std::string name, int arity) {
+  assert(arity >= 0);
+  if (RelationId(name) >= 0 || FunctionId(name) >= 0) {
+    throw std::invalid_argument("duplicate symbol name: " + name);
+  }
+  functions_.push_back(Symbol{std::move(name), arity});
+  return static_cast<int>(functions_.size()) - 1;
+}
+
+int Schema::RelationId(std::string_view name) const {
+  for (int i = 0; i < num_relations(); ++i) {
+    if (relations_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::FunctionId(std::string_view name) const {
+  for (int i = 0; i < num_functions(); ++i) {
+    if (functions_[i].name == name) return i;
+  }
+  return -1;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (relations_.size() != other.relations_.size() ||
+      functions_.size() != other.functions_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name != other.relations_[i].name ||
+        relations_[i].arity != other.relations_[i].arity) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].name != other.functions_[i].name ||
+        functions_[i].arity != other.functions_[i].arity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Schema Schema::Union(const Schema& other) const {
+  Schema result = *this;
+  for (const Symbol& s : other.relations_) result.AddRelation(s.name, s.arity);
+  for (const Symbol& s : other.functions_) result.AddFunction(s.name, s.arity);
+  return result;
+}
+
+bool Schema::ContainsAllSymbolsOf(const Schema& other) const {
+  for (const Symbol& s : other.relations_) {
+    int id = RelationId(s.name);
+    if (id < 0 || relations_[id].arity != s.arity) return false;
+  }
+  for (const Symbol& s : other.functions_) {
+    int id = FunctionId(s.name);
+    if (id < 0 || functions_[id].arity != s.arity) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "schema{";
+  for (int i = 0; i < num_relations(); ++i) {
+    if (i > 0) os << ", ";
+    os << relations_[i].name << "/" << relations_[i].arity;
+  }
+  if (num_functions() > 0) {
+    if (num_relations() > 0) os << "; ";
+    for (int i = 0; i < num_functions(); ++i) {
+      if (i > 0) os << ", ";
+      os << functions_[i].name << "()/" << functions_[i].arity;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace amalgam

@@ -1,0 +1,80 @@
+// Schemas: finite sets of relation and function symbols with arities.
+// Paper §2 "Basic notions": a schema is a finite set of relation symbols and
+// function symbols (0-ary function symbols are constants).
+#ifndef AMALGAM_BASE_SCHEMA_H_
+#define AMALGAM_BASE_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amalgam {
+
+/// A domain element of a finite structure. Domains are always {0..n-1}.
+using Elem = std::uint32_t;
+
+/// Sentinel for "no element" (used by partial maps during search).
+inline constexpr Elem kNoElem = static_cast<Elem>(-1);
+
+/// A relation or function symbol.
+struct Symbol {
+  std::string name;
+  int arity = 0;
+};
+
+/// A finite schema. Relations and functions are separately indexed by dense
+/// ids (the order of Add* calls). Schemas are immutable once shared; build
+/// them fully before constructing structures over them.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation symbol and returns its id.
+  int AddRelation(std::string name, int arity);
+  /// Adds a function symbol (arity = number of arguments; 0 = constant) and
+  /// returns its id.
+  int AddFunction(std::string name, int arity);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  int num_functions() const { return static_cast<int>(functions_.size()); }
+
+  const Symbol& relation(int id) const { return relations_[id]; }
+  const Symbol& function(int id) const { return functions_[id]; }
+
+  /// Returns the id of the named relation, or -1 if absent.
+  int RelationId(std::string_view name) const;
+  /// Returns the id of the named function, or -1 if absent.
+  int FunctionId(std::string_view name) const;
+
+  /// Structural equality (same symbols in the same order).
+  bool operator==(const Schema& other) const;
+
+  /// Returns a new schema containing all symbols of this schema followed by
+  /// all symbols of `other`. Duplicate names are not allowed.
+  Schema Union(const Schema& other) const;
+
+  /// True if `other`'s symbols are a prefix-closed subset of this schema's
+  /// symbols under name lookup (used to validate projections).
+  bool ContainsAllSymbolsOf(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Symbol> relations_;
+  std::vector<Symbol> functions_;
+};
+
+/// Schemas are shared between many structures; they are immutable after
+/// construction so plain shared ownership is safe.
+using SchemaRef = std::shared_ptr<const Schema>;
+
+/// Convenience for building a shared schema in one expression.
+inline SchemaRef MakeSchema(Schema schema) {
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_BASE_SCHEMA_H_

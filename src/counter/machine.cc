@@ -1,0 +1,87 @@
+#include "counter/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amalgam {
+
+int CounterMachine::AddInc(int counter, int next) {
+  instrs.push_back(Instr{Op::kInc, counter, next, -1});
+  return static_cast<int>(instrs.size()) - 1;
+}
+
+int CounterMachine::AddDec(int counter, int next, int next_zero) {
+  instrs.push_back(Instr{Op::kDec, counter, next, next_zero});
+  return static_cast<int>(instrs.size()) - 1;
+}
+
+int CounterMachine::AddHalt() {
+  instrs.push_back(Instr{Op::kHalt, 0, -1, -1});
+  return static_cast<int>(instrs.size()) - 1;
+}
+
+std::optional<int> CounterMachine::Run(int max_steps,
+                                       int* max_counter_seen) const {
+  std::vector<long> counters(num_counters, 0);
+  int state = start;
+  long peak = 0;
+  for (int step = 0; step <= max_steps; ++step) {
+    const Instr& instr = instrs[state];
+    switch (instr.op) {
+      case Op::kHalt:
+        if (max_counter_seen != nullptr) {
+          *max_counter_seen = static_cast<int>(peak);
+        }
+        return step;
+      case Op::kInc:
+        ++counters[instr.counter];
+        peak = std::max(peak, counters[instr.counter]);
+        state = instr.next;
+        break;
+      case Op::kDec:
+        if (counters[instr.counter] == 0) {
+          state = instr.next_zero;
+        } else {
+          --counters[instr.counter];
+          state = instr.next;
+        }
+        break;
+    }
+  }
+  if (max_counter_seen != nullptr) *max_counter_seen = static_cast<int>(peak);
+  return std::nullopt;
+}
+
+CounterMachine MachineCountUpDown(int n) {
+  CounterMachine m;
+  // States 0..n-1: inc; state n..: dec back to zero, then halt.
+  for (int i = 0; i < n; ++i) m.AddInc(0, i + 1);
+  const int dec_state = n;
+  const int halt_state = n + 1;
+  m.AddDec(0, dec_state, halt_state);
+  m.AddHalt();
+  assert(static_cast<int>(m.instrs.size()) == n + 2);
+  return m;
+}
+
+CounterMachine MachineLoopForever() {
+  CounterMachine m;
+  m.AddInc(0, 1);
+  m.AddDec(0, 0, 0);  // dec then inc again, forever
+  return m;
+}
+
+CounterMachine MachineTransfer(int n) {
+  CounterMachine m;
+  for (int i = 0; i < n; ++i) m.AddInc(0, i + 1);
+  // Loop: dec c0, inc c1 until c0 == 0.
+  const int loop = n;
+  const int bump = n + 1;
+  const int halt = n + 2;
+  m.AddDec(0, bump, halt);
+  m.AddInc(1, loop);
+  m.AddHalt();
+  return m;
+}
+
+}  // namespace amalgam

@@ -1,0 +1,47 @@
+// Two-counter (Minsky) machines and a tiny linear-space Turing machine —
+// the sources of the paper's lower bounds (Lemma 1) and undecidability
+// results (Facts 15 and 16, Theorem 17).
+#ifndef AMALGAM_COUNTER_MACHINE_H_
+#define AMALGAM_COUNTER_MACHINE_H_
+
+#include <optional>
+#include <vector>
+
+namespace amalgam {
+
+/// A Minsky machine: each control state carries one instruction.
+///   kInc:  increment `counter`, go to `next`.
+///   kDec:  if `counter` == 0 go to `next_zero`, else decrement and go to
+///          `next`.
+///   kHalt: stop (accepting).
+struct CounterMachine {
+  enum class Op { kInc, kDec, kHalt };
+  struct Instr {
+    Op op = Op::kHalt;
+    int counter = 0;
+    int next = -1;
+    int next_zero = -1;
+  };
+
+  int num_counters = 2;
+  std::vector<Instr> instrs;
+  int start = 0;
+
+  int AddInc(int counter, int next);
+  int AddDec(int counter, int next, int next_zero);
+  int AddHalt();
+
+  /// Runs for at most `max_steps` steps. Returns the number of steps to
+  /// halt, or nullopt if still running. `max_counter_seen` (optional)
+  /// receives the largest counter value encountered.
+  std::optional<int> Run(int max_steps, int* max_counter_seen = nullptr) const;
+};
+
+/// Example machines for tests and benchmarks.
+CounterMachine MachineCountUpDown(int n);  // halts; counter peaks at n
+CounterMachine MachineLoopForever();       // never halts
+CounterMachine MachineTransfer(int n);     // c0 := n, move c0 to c1, halt
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_COUNTER_MACHINE_H_

@@ -1,0 +1,374 @@
+#include "counter/reductions.h"
+
+#include <cassert>
+#include <string>
+
+namespace amalgam {
+
+namespace {
+
+// Conjunction of "r_new = r_old" for every register name except those in
+// `moving`.
+std::string Frame(const std::vector<std::string>& registers,
+                  const std::vector<std::string>& moving) {
+  std::string out;
+  for (const std::string& r : registers) {
+    bool moves = false;
+    for (const std::string& m : moving) moves |= (m == r);
+    if (moves) continue;
+    if (!out.empty()) out += " & ";
+    out += r + "_new = " + r + "_old";
+  }
+  return out.empty() ? "true" : out;
+}
+
+std::string Conj(const std::string& a, const std::string& b) {
+  if (a == "true") return b;
+  if (b == "true") return a;
+  return a + " & " + b;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Fact 15
+
+SchemaRef SuccSchema() {
+  Schema s;
+  s.AddRelation("succ", 2);
+  return MakeSchema(std::move(s));
+}
+
+Structure PathDatabase(int n, const SchemaRef& schema) {
+  Structure db(schema, n);
+  const int succ = schema->RelationId("succ");
+  for (int i = 0; i + 1 < n; ++i) {
+    db.SetHolds2(succ, static_cast<Elem>(i), static_cast<Elem>(i + 1));
+  }
+  return db;
+}
+
+DdsSystem SuccWordSystem(const CounterMachine& machine) {
+  DdsSystem system(SuccSchema());
+  std::vector<std::string> regs;
+  for (int c = 0; c < machine.num_counters; ++c) {
+    regs.push_back("c" + std::to_string(c));
+  }
+  regs.push_back("z");
+  for (const std::string& r : regs) system.AddRegister(r);
+
+  const int init = system.AddState("init", /*initial=*/true);
+  std::vector<int> state_of(machine.instrs.size());
+  for (std::size_t i = 0; i < machine.instrs.size(); ++i) {
+    state_of[i] = system.AddState(
+        "m" + std::to_string(i), false,
+        machine.instrs[i].op == CounterMachine::Op::kHalt);
+  }
+
+  // init: all counters sit on the anchor.
+  std::string zeroed = "true";
+  for (int c = 0; c < machine.num_counters; ++c) {
+    zeroed = Conj(zeroed, "c" + std::to_string(c) + "_old = z_old");
+  }
+  system.AddRule(init, state_of[machine.start], Conj(zeroed, Frame(regs, {})));
+
+  for (std::size_t i = 0; i < machine.instrs.size(); ++i) {
+    const auto& instr = machine.instrs[i];
+    const std::string c = "c" + std::to_string(instr.counter);
+    switch (instr.op) {
+      case CounterMachine::Op::kHalt:
+        break;
+      case CounterMachine::Op::kInc:
+        system.AddRule(state_of[i], state_of[instr.next],
+                       Conj("succ(" + c + "_old, " + c + "_new)",
+                            Frame(regs, {c})));
+        break;
+      case CounterMachine::Op::kDec:
+        system.AddRule(state_of[i], state_of[instr.next],
+                       Conj(c + "_old != z_old & succ(" + c + "_new, " + c +
+                                "_old)",
+                            Frame(regs, {c})));
+        system.AddRule(state_of[i], state_of[instr.next_zero],
+                       Conj(c + "_old = z_old", Frame(regs, {})));
+        break;
+    }
+  }
+  return system;
+}
+
+// ---------------------------------------------------------------- Fact 16
+
+SchemaRef SiblingSchema() {
+  Schema s;
+  s.AddRelation("sibling", 2);
+  s.AddFunction("cca", 2);
+  return MakeSchema(std::move(s));
+}
+
+Structure CaterpillarDatabase(int height, const SchemaRef& schema) {
+  Tree t;
+  t.AddNode(-1, 0);
+  int spine = 0;
+  for (int d = 0; d < height; ++d) {
+    int next = t.AddNode(spine, 0);
+    t.AddNode(spine, 0);  // the leaf sibling
+    spine = next;
+  }
+  Structure db(schema, t.size());
+  const int sibling = schema->RelationId("sibling");
+  const int cca = schema->FunctionId("cca");
+  for (int v = 0; v < t.size(); ++v) {
+    for (int w = 0; w < t.size(); ++w) {
+      if (v != w && t.parent[v] >= 0 && t.parent[v] == t.parent[w]) {
+        db.SetHolds2(sibling, v, w);
+      }
+      db.SetFunction2(cca, v, w, static_cast<Elem>(t.Cca(v, w)));
+    }
+  }
+  return db;
+}
+
+DdsSystem SiblingTreeSystem(const CounterMachine& machine) {
+  DdsSystem system(SiblingSchema());
+  std::vector<std::string> regs;
+  for (int c = 0; c < machine.num_counters; ++c) {
+    regs.push_back("c" + std::to_string(c));
+  }
+  regs.push_back("z");
+  regs.push_back("y");  // scratch sibling witness; never framed
+  for (const std::string& r : regs) system.AddRegister(r);
+
+  const int init = system.AddState("init", /*initial=*/true);
+  std::vector<int> state_of(machine.instrs.size());
+  for (std::size_t i = 0; i < machine.instrs.size(); ++i) {
+    state_of[i] = system.AddState(
+        "m" + std::to_string(i), false,
+        machine.instrs[i].op == CounterMachine::Op::kHalt);
+  }
+
+  std::string zeroed = "true";
+  for (int c = 0; c < machine.num_counters; ++c) {
+    zeroed = Conj(zeroed, "c" + std::to_string(c) + "_old = z_old");
+  }
+  system.AddRule(init, state_of[machine.start],
+                 Conj(zeroed, Frame(regs, {"y"})));
+
+  for (std::size_t i = 0; i < machine.instrs.size(); ++i) {
+    const auto& instr = machine.instrs[i];
+    const std::string c = "c" + std::to_string(instr.counter);
+    switch (instr.op) {
+      case CounterMachine::Op::kHalt:
+        break;
+      case CounterMachine::Op::kInc:
+        // Move to a child: the new node and the (fresh) sibling witness
+        // meet exactly at the old node.
+        system.AddRule(
+            state_of[i], state_of[instr.next],
+            Conj(c + "_old = cca(" + c + "_new, y_new) & sibling(" + c +
+                     "_new, y_new)",
+                 Frame(regs, {c, "y"})));
+        break;
+      case CounterMachine::Op::kDec:
+        system.AddRule(
+            state_of[i], state_of[instr.next],
+            Conj(c + "_old != z_old & " + c + "_new = cca(" + c +
+                     "_old, y_old) & sibling(" + c + "_old, y_old)",
+                 Frame(regs, {c, "y"})));
+        system.AddRule(state_of[i], state_of[instr.next_zero],
+                       Conj(c + "_old = z_old", Frame(regs, {"y"})));
+        break;
+    }
+  }
+  return system;
+}
+
+// ---------------------------------------------------------------- Lemma 1
+
+int LinearTm::AddState() {
+  ++num_states;
+  transitions.resize(num_states);
+  for (auto& t : transitions.back()) t.next = -2;
+  return num_states - 1;
+}
+
+void LinearTm::SetTransition(int state, int read, int write, int move,
+                             int next) {
+  transitions[state][read] = Transition{write, move, next};
+}
+
+bool LinearTm::Accepts(int max_steps) const {
+  std::vector<int> tape(tape_len, 0);
+  int state = start, pos = 0;
+  for (int step = 0; step < max_steps; ++step) {
+    if (state == accept) return true;
+    const Transition& t = transitions[state][tape[pos]];
+    if (t.next == -2) return false;
+    tape[pos] = t.write;
+    pos = std::max(0, std::min(tape_len - 1, pos + t.move));
+    state = t.next;
+  }
+  return state == accept;
+}
+
+SchemaRef BareSchema() {
+  Schema s;
+  s.AddRelation("marked", 1);  // unused by Lemma 1 guards; keeps the
+                               // schema nonempty for generic tooling
+  return MakeSchema(std::move(s));
+}
+
+DdsSystem LinearSpaceTmSystem(const LinearTm& tm) {
+  DdsSystem system(BareSchema());
+  const int n = tm.tape_len;
+  std::vector<std::string> regs;
+  for (int i = 0; i < n; ++i) regs.push_back("x" + std::to_string(i));
+  regs.push_back("y");
+  for (const std::string& r : regs) system.AddRegister(r);
+
+  const int init = system.AddState("init", /*initial=*/true);
+  // Control state per (tm state, head position).
+  std::vector<std::vector<int>> grid(tm.num_states, std::vector<int>(n));
+  for (int s = 0; s < tm.num_states; ++s) {
+    for (int p = 0; p < n; ++p) {
+      grid[s][p] = system.AddState(
+          "s" + std::to_string(s) + "p" + std::to_string(p), false,
+          s == tm.accept);
+    }
+  }
+  // Initial all-zero tape: every cell differs from y.
+  std::string blank = "true";
+  for (int i = 0; i < n; ++i) {
+    blank = Conj(blank, "x" + std::to_string(i) + "_old != y_old");
+  }
+  system.AddRule(init, grid[tm.start][0], Conj(blank, Frame(regs, {})));
+
+  for (int s = 0; s < tm.num_states; ++s) {
+    if (s == tm.accept) continue;
+    for (int p = 0; p < n; ++p) {
+      for (int bit = 0; bit < 2; ++bit) {
+        const auto& t = tm.transitions[s][bit];
+        if (t.next == -2) continue;
+        const std::string cell = "x" + std::to_string(p);
+        std::string guard =
+            bit == 1 ? cell + "_old = y_old" : cell + "_old != y_old";
+        guard = Conj(guard, t.write == 1 ? cell + "_new = y_old"
+                                         : cell + "_new != y_old");
+        guard = Conj(guard, Frame(regs, {cell}));
+        const int new_pos = std::max(0, std::min(n - 1, p + t.move));
+        system.AddRule(grid[s][p], grid[t.next][new_pos], guard);
+      }
+    }
+  }
+  return system;
+}
+
+// -------------------------------------------------------------- Theorem 17
+
+SchemaRef DataPatternSchema() {
+  Schema s;
+  s.AddRelation("r", 1);
+  s.AddRelation("a", 1);
+  s.AddRelation("b", 1);
+  s.AddRelation("desc", 2);
+  s.AddRelation("deq", 2);
+  return MakeSchema(std::move(s));
+}
+
+Structure ChainDataTree(int n, const SchemaRef& schema) {
+  // Elements: 0 = root; a_i = 1 + 2i; b_i = 2 + 2i  (0 <= i <= n).
+  const int size = 1 + 2 * (n + 1);
+  Structure db(schema, size);
+  const int r = schema->RelationId("r");
+  const int a = schema->RelationId("a");
+  const int b = schema->RelationId("b");
+  const int desc = schema->RelationId("desc");
+  const int deq = schema->RelationId("deq");
+  db.SetHolds1(r, 0);
+  auto value = std::vector<int>(size, 0);
+  value[0] = -1;  // root's own unique value
+  for (int i = 0; i <= n; ++i) {
+    Elem ai = 1 + 2 * i, bi = 2 + 2 * i;
+    db.SetHolds1(a, ai);
+    db.SetHolds1(b, bi);
+    value[ai] = i;
+    value[bi] = i + 1;
+  }
+  for (Elem v = 0; v < static_cast<Elem>(size); ++v) {
+    db.SetHolds2(desc, 0, v);  // root above everything
+    db.SetHolds2(desc, v, v);
+    for (Elem w = 0; w < static_cast<Elem>(size); ++w) {
+      if (value[v] == value[w] && value[v] >= 0) db.SetHolds2(deq, v, w);
+    }
+  }
+  for (int i = 0; i <= n; ++i) {
+    db.SetHolds2(desc, 1 + 2 * i, 2 + 2 * i);  // a_i above b_i
+  }
+  return db;
+}
+
+DdsSystem DataPatternSystem(const CounterMachine& machine) {
+  DdsSystem system(DataPatternSchema());
+  std::vector<std::string> regs;
+  for (int c = 0; c < machine.num_counters; ++c) {
+    regs.push_back("x" + std::to_string(c));
+  }
+  regs.push_back("xz");  // anchor counter (always the start subtree)
+  for (const std::string& r : regs) system.AddRegister(r);
+
+  // The paper's injective-semantics uniqueness side conditions: no two
+  // distinct a-nodes (resp. b-nodes) share a data value.
+  const std::string unique_a =
+      "!(exists u, v: (a(u) & a(v) & u != v & deq(u, v)))";
+  const std::string unique_b =
+      "!(exists u, v: (b(u) & b(v) & u != v & deq(u, v)))";
+  const std::string well_formed = unique_a + " & " + unique_b;
+
+  const int init = system.AddState("init", /*initial=*/true);
+  std::vector<int> state_of(machine.instrs.size());
+  for (std::size_t i = 0; i < machine.instrs.size(); ++i) {
+    state_of[i] = system.AddState(
+        "m" + std::to_string(i), false,
+        machine.instrs[i].op == CounterMachine::Op::kHalt);
+  }
+
+  std::string zeroed = "a(xz_old)";
+  for (int c = 0; c < machine.num_counters; ++c) {
+    zeroed = Conj(zeroed, "x" + std::to_string(c) + "_old = xz_old");
+  }
+  system.AddRule(init, state_of[machine.start],
+                 Conj(Conj(zeroed, well_formed), Frame(regs, {})));
+
+  for (std::size_t i = 0; i < machine.instrs.size(); ++i) {
+    const auto& instr = machine.instrs[i];
+    const std::string x = "x" + std::to_string(instr.counter);
+    switch (instr.op) {
+      case CounterMachine::Op::kHalt:
+        break;
+      case CounterMachine::Op::kInc:
+        // Move to the successor subtree: the old subtree's b-node has the
+        // value of the new subtree's a-node.
+        system.AddRule(
+            state_of[i], state_of[instr.next],
+            Conj(Conj("a(" + x + "_new) & exists vb: (b(vb) & desc(" + x +
+                          "_old, vb) & vb != " + x + "_old & deq(vb, " + x +
+                          "_new))",
+                      well_formed),
+                 Frame(regs, {x})));
+        break;
+      case CounterMachine::Op::kDec:
+        system.AddRule(
+            state_of[i], state_of[instr.next],
+            Conj(Conj("!deq(" + x + "_old, xz_old) & a(" + x +
+                          "_new) & exists vb: (b(vb) & desc(" + x +
+                          "_new, vb) & vb != " + x + "_new & deq(vb, " + x +
+                          "_old))",
+                      well_formed),
+                 Frame(regs, {x})));
+        system.AddRule(state_of[i], state_of[instr.next_zero],
+                       Conj("deq(" + x + "_old, xz_old)", Frame(regs, {})));
+        break;
+    }
+  }
+  return system;
+}
+
+}  // namespace amalgam

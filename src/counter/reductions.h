@@ -1,0 +1,90 @@
+// Executable forms of the paper's lower-bound and undecidability
+// reductions. Undecidability itself cannot be tested, but each reduction's
+// *fidelity* can: the generated database-driven system simulates the source
+// machine step for step over the intended databases, which the bounded
+// tests in tests/counter_test.cc verify with the concrete semantics.
+#ifndef AMALGAM_COUNTER_REDUCTIONS_H_
+#define AMALGAM_COUNTER_REDUCTIONS_H_
+
+#include <array>
+
+#include "counter/machine.h"
+#include "system/dds.h"
+#include "trees/tree.h"
+
+namespace amalgam {
+
+// ---- Fact 15: unary words with succ simulate counter machines. ----
+
+/// The schema {succ/2}.
+SchemaRef SuccSchema();
+/// The succ-path database on n elements: succ(i, i+1).
+Structure PathDatabase(int n, const SchemaRef& schema);
+/// The Fact 15 system: registers c0..c_{k-1} (counters) and z (the zero
+/// anchor). Counter value = succ-distance from z. The decrement rule
+/// carries the extra guard c != z, making the simulation faithful for any
+/// placement of z.
+DdsSystem SuccWordSystem(const CounterMachine& machine);
+
+// ---- Fact 16: trees with cca + sibling simulate counter machines. ----
+
+/// The schema {sibling/2, cca/2-function}.
+SchemaRef SiblingSchema();
+/// The database of the caterpillar tree of height n: each node on the
+/// spine has two children (the next spine node and a leaf sibling), which
+/// is the shape the reduction's guards require.
+Structure CaterpillarDatabase(int height, const SchemaRef& schema);
+/// The Fact 16 system: counter value = depth of the register below the
+/// anchor z. Increment descends to a child (certified by cca + sibling),
+/// decrement ascends.
+DdsSystem SiblingTreeSystem(const CounterMachine& machine);
+
+// ---- Lemma 1: PSPACE-hardness via linear-space Turing machines. ----
+
+/// A binary-alphabet Turing machine confined to `tape_len` cells.
+struct LinearTm {
+  struct Transition {
+    int write = 0;
+    int move = 0;  // -1, 0, +1 (clamped at the tape ends)
+    int next = 0;
+  };
+  int num_states = 0;
+  int tape_len = 0;
+  int start = 0;
+  int accept = -1;
+  // transition[state][read_bit]; next == -2 encodes "no transition".
+  std::vector<std::array<Transition, 2>> transitions;
+
+  int AddState();
+  void SetTransition(int state, int read, int write, int move, int next);
+  /// Direct execution from the all-zero tape; true if it accepts within
+  /// max_steps.
+  bool Accepts(int max_steps) const;
+};
+
+/// A relation-free schema (equality only) — Lemma 1 needs just two
+/// distinguishable elements.
+SchemaRef BareSchema();
+/// The Lemma 1 system: registers x_1..x_n (cells) + y; cell i holds 1 iff
+/// x_i == y; the head position and TM state live in the control state.
+/// The system has an accepting run driven by some database iff the TM
+/// accepts (databases with >= 2 elements give the registers room).
+DdsSystem LinearSpaceTmSystem(const LinearTm& tm);
+
+// ---- Theorem 17: data tree patterns simulate counter machines. ----
+
+/// The schema {r/1, a/1, b/1, desc/2, deq/2}.
+SchemaRef DataPatternSchema();
+/// The chain-encoding data tree: a root r with subtrees t_0..t_n, each an
+/// a-node with a b-child; deq links b_i ~ a_{i+1} (the successor chain).
+Structure ChainDataTree(int n, const SchemaRef& schema);
+/// The Theorem 17 system: one register per counter holding the a-node of
+/// the counter's current subtree, plus an anchor counter for zero tests.
+/// Guards are boolean combinations of (injective-semantics) tree pattern
+/// formulas — existential formulas with distinctness, including the
+/// negated uniqueness patterns from the paper's appendix.
+DdsSystem DataPatternSystem(const CounterMachine& machine);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_COUNTER_REDUCTIONS_H_

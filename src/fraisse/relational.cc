@@ -1,0 +1,278 @@
+#include "fraisse/relational.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/enumerate.h"
+
+namespace amalgam {
+
+void EnumerateRelationalGenerated(
+    const SchemaRef& schema, int m,
+    const std::function<bool(const Structure&)>& contains,
+    const FraisseClass::EnumCallback& cb) {
+  assert(schema->num_functions() == 0 &&
+         "relational enumerator requires a function-free schema");
+  ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+    const int d =
+        block_of.empty()
+            ? 0
+            : 1 + *std::max_element(block_of.begin(), block_of.end());
+    std::vector<Elem> marks(m);
+    for (int i = 0; i < m; ++i) marks[i] = static_cast<Elem>(block_of[i]);
+
+    // Atom list: (relation, encoded tuple) pairs, in a fixed order.
+    struct Atom {
+      int rel;
+      std::vector<Elem> tuple;
+    };
+    std::vector<Atom> atoms;
+    for (int r = 0; r < schema->num_relations(); ++r) {
+      const int arity = schema->relation(r).arity;
+      std::vector<Elem> tuple(arity);
+      ForEachTuple(d, arity, [&](const std::vector<int>& t) {
+        for (int i = 0; i < arity; ++i) tuple[i] = static_cast<Elem>(t[i]);
+        atoms.push_back(Atom{r, tuple});
+      });
+    }
+    if (atoms.size() > 28) {
+      throw std::invalid_argument(
+          "generic relational enumeration would need 2^" +
+          std::to_string(atoms.size()) +
+          " candidates; use a class-specific enumerator or fewer registers");
+    }
+    const std::uint64_t total = 1ULL << atoms.size();
+    Structure s(schema, d);
+    std::uint64_t previous = 0;
+    for (std::uint64_t mask = 0; mask < total; ++mask) {
+      // Update only the changed atoms (mask increments flip a suffix).
+      std::uint64_t diff = mask ^ previous;
+      for (std::size_t i = 0; diff >> i; ++i) {
+        if ((diff >> i) & 1) {
+          s.SetHolds(atoms[i].rel, atoms[i].tuple, (mask >> i) & 1);
+        }
+      }
+      previous = mask;
+      if (contains(s)) cb(s, marks);
+    }
+  });
+}
+
+AllStructuresClass::AllStructuresClass(SchemaRef schema)
+    : schema_(std::move(schema)) {
+  if (schema_->num_functions() != 0) {
+    throw std::invalid_argument(
+        "AllStructuresClass supports relational schemas only");
+  }
+}
+
+bool AllStructuresClass::Contains(const Structure& s) const {
+  return s.schema() == *schema_;
+}
+
+void AllStructuresClass::EnumerateGenerated(int m,
+                                            const EnumCallback& cb) const {
+  EnumerateRelationalGenerated(
+      schema_, m, [](const Structure&) { return true; }, cb);
+}
+
+bool IsStrictLinearOrder(const Structure& s, int rel) {
+  const Elem n = static_cast<Elem>(s.size());
+  for (Elem a = 0; a < n; ++a) {
+    if (s.Holds2(rel, a, a)) return false;
+    for (Elem b = 0; b < n; ++b) {
+      if (a != b && s.Holds2(rel, a, b) == s.Holds2(rel, b, a)) return false;
+      for (Elem c = 0; c < n; ++c) {
+        if (s.Holds2(rel, a, b) && s.Holds2(rel, b, c) &&
+            !s.Holds2(rel, a, c)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool IsEquivalenceRelation(const Structure& s, int rel) {
+  const Elem n = static_cast<Elem>(s.size());
+  for (Elem a = 0; a < n; ++a) {
+    if (!s.Holds2(rel, a, a)) return false;
+    for (Elem b = 0; b < n; ++b) {
+      if (s.Holds2(rel, a, b) != s.Holds2(rel, b, a)) return false;
+      for (Elem c = 0; c < n; ++c) {
+        if (s.Holds2(rel, a, b) && s.Holds2(rel, b, c) &&
+            !s.Holds2(rel, a, c)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool IsStrictWeakOrder(const Structure& s, int rel) {
+  const Elem n = static_cast<Elem>(s.size());
+  auto incomparable = [&](Elem a, Elem b) {
+    return !s.Holds2(rel, a, b) && !s.Holds2(rel, b, a);
+  };
+  for (Elem a = 0; a < n; ++a) {
+    if (s.Holds2(rel, a, a)) return false;
+    for (Elem b = 0; b < n; ++b) {
+      for (Elem c = 0; c < n; ++c) {
+        if (s.Holds2(rel, a, b) && s.Holds2(rel, b, c) &&
+            !s.Holds2(rel, a, c)) {
+          return false;
+        }
+        if (incomparable(a, b) && incomparable(b, c) && !incomparable(a, c)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+SchemaRef OrderSchema() {
+  Schema s;
+  s.AddRelation("lt", 2);
+  return MakeSchema(std::move(s));
+}
+
+SchemaRef EquivSchema() {
+  Schema s;
+  s.AddRelation("eqv", 2);
+  return MakeSchema(std::move(s));
+}
+
+}  // namespace
+
+LinearOrderClass::LinearOrderClass() : schema_(OrderSchema()) {}
+
+bool LinearOrderClass::Contains(const Structure& s) const {
+  return IsStrictLinearOrder(s, kLess);
+}
+
+void LinearOrderClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
+  // Direct enumeration: a partition of the marks into d classes plus a
+  // linear order of the classes. (The generic enumerator would also work
+  // but wastes 2^(d^2) candidates.)
+  ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+    const int d =
+        block_of.empty()
+            ? 0
+            : 1 + *std::max_element(block_of.begin(), block_of.end());
+    std::vector<Elem> marks(m);
+    for (int i = 0; i < m; ++i) marks[i] = static_cast<Elem>(block_of[i]);
+    ForEachPermutation(d, [&](const std::vector<int>& position_of) {
+      Structure s(schema_, d);
+      for (Elem a = 0; a < static_cast<Elem>(d); ++a) {
+        for (Elem b = 0; b < static_cast<Elem>(d); ++b) {
+          if (position_of[a] < position_of[b]) s.SetHolds2(kLess, a, b);
+        }
+      }
+      cb(s, marks);
+    });
+  });
+}
+
+std::optional<AmalgamResult> LinearOrderClass::Amalgamate(
+    const Structure& a, const Structure& b,
+    std::span<const Elem> b_to_a) const {
+  AmalgamResult result = FreeAmalgam(a, b, b_to_a);
+  Structure& s = result.structure;
+  const Elem n = static_cast<Elem>(s.size());
+  // Transitive closure of the union.
+  for (Elem k = 0; k < n; ++k) {
+    for (Elem i = 0; i < n; ++i) {
+      for (Elem j = 0; j < n; ++j) {
+        if (s.Holds2(kLess, i, k) && s.Holds2(kLess, k, j)) {
+          s.SetHolds2(kLess, i, j);
+        }
+      }
+    }
+  }
+  for (Elem i = 0; i < n; ++i) {
+    if (s.Holds2(kLess, i, i)) return std::nullopt;  // inconsistent instance
+  }
+  // Deterministic linear extension (Kahn with smallest-id tie-break).
+  std::vector<Elem> order;
+  std::vector<char> placed(n, 0);
+  for (Elem step = 0; step < n; ++step) {
+    for (Elem candidate = 0; candidate < n; ++candidate) {
+      if (placed[candidate]) continue;
+      bool minimal = true;
+      for (Elem other = 0; other < n; ++other) {
+        if (!placed[other] && s.Holds2(kLess, other, candidate)) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) {
+        order.push_back(candidate);
+        placed[candidate] = 1;
+        break;
+      }
+    }
+  }
+  std::vector<Elem> position(n);
+  for (Elem i = 0; i < n; ++i) position[order[i]] = i;
+  for (Elem x = 0; x < n; ++x) {
+    for (Elem y = 0; y < n; ++y) {
+      s.SetHolds2(kLess, x, y, position[x] < position[y]);
+    }
+  }
+  return result;
+}
+
+EquivalenceClass::EquivalenceClass() : schema_(EquivSchema()) {}
+
+bool EquivalenceClass::Contains(const Structure& s) const {
+  return IsEquivalenceRelation(s, kEquiv);
+}
+
+void EquivalenceClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
+  ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+    const int d =
+        block_of.empty()
+            ? 0
+            : 1 + *std::max_element(block_of.begin(), block_of.end());
+    std::vector<Elem> marks(m);
+    for (int i = 0; i < m; ++i) marks[i] = static_cast<Elem>(block_of[i]);
+    // Group the d elements into equivalence classes.
+    ForEachSetPartition(d, [&](const std::vector<int>& class_of) {
+      Structure s(schema_, d);
+      for (Elem a = 0; a < static_cast<Elem>(d); ++a) {
+        for (Elem b = 0; b < static_cast<Elem>(d); ++b) {
+          if (class_of[a] == class_of[b]) s.SetHolds2(kEquiv, a, b);
+        }
+      }
+      cb(s, marks);
+    });
+  });
+}
+
+std::optional<AmalgamResult> EquivalenceClass::Amalgamate(
+    const Structure& a, const Structure& b,
+    std::span<const Elem> b_to_a) const {
+  AmalgamResult result = FreeAmalgam(a, b, b_to_a);
+  Structure& s = result.structure;
+  const Elem n = static_cast<Elem>(s.size());
+  for (Elem k = 0; k < n; ++k) {
+    for (Elem i = 0; i < n; ++i) {
+      for (Elem j = 0; j < n; ++j) {
+        if (s.Holds2(kEquiv, i, k) && s.Holds2(kEquiv, k, j)) {
+          s.SetHolds2(kEquiv, i, j);
+        }
+      }
+    }
+  }
+  for (Elem i = 0; i < n; ++i) s.SetHolds2(kEquiv, i, i);
+  assert(Contains(s));
+  return result;
+}
+
+}  // namespace amalgam

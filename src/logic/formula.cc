@@ -1,0 +1,371 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace amalgam {
+
+namespace {
+
+int MaxVarInTerm(const Term& t) {
+  if (t.kind == Term::Kind::kVar) return t.var;
+  int best = -1;
+  for (const Term& a : t.args) best = std::max(best, MaxVarInTerm(a));
+  return best;
+}
+
+void TermToString(const Term& t, const Schema& schema,
+                  const std::vector<std::string>& var_names,
+                  std::ostringstream& os) {
+  if (t.kind == Term::Kind::kVar) {
+    if (t.var >= 0 && t.var < static_cast<int>(var_names.size())) {
+      os << var_names[t.var];
+    } else {
+      os << "v" << t.var;
+    }
+    return;
+  }
+  os << schema.function(t.fn).name << "(";
+  for (std::size_t i = 0; i < t.args.size(); ++i) {
+    if (i > 0) os << ", ";
+    TermToString(t.args[i], schema, var_names, os);
+  }
+  os << ")";
+}
+
+}  // namespace
+
+int Formula::MaxVar() const {
+  int best = exists_var_;
+  for (const Term& t : terms_) best = std::max(best, MaxVarInTerm(t));
+  for (const FormulaRef& c : children_) best = std::max(best, c->MaxVar());
+  return best;
+}
+
+bool Formula::IsQuantifierFree() const {
+  if (kind_ == Kind::kExists) return false;
+  for (const FormulaRef& c : children_) {
+    if (!c->IsQuantifierFree()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool ExistentialsPositiveRec(const Formula& f, bool polarity) {
+  switch (f.kind()) {
+    case Formula::Kind::kExists:
+      if (!polarity) return false;
+      return ExistentialsPositiveRec(*f.children()[0], polarity);
+    case Formula::Kind::kNot:
+      return ExistentialsPositiveRec(*f.children()[0], !polarity);
+    default:
+      for (const FormulaRef& c : f.children()) {
+        if (!ExistentialsPositiveRec(*c, polarity)) return false;
+      }
+      return true;
+  }
+}
+
+}  // namespace
+
+bool Formula::ExistentialsArePositive() const {
+  return ExistentialsPositiveRec(*this, true);
+}
+
+std::string Formula::ToString(const Schema& schema,
+                              const std::vector<std::string>& var_names) const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kTrue:
+      os << "true";
+      break;
+    case Kind::kFalse:
+      os << "false";
+      break;
+    case Kind::kRel:
+      os << schema.relation(rel_).name << "(";
+      for (std::size_t i = 0; i < terms_.size(); ++i) {
+        if (i > 0) os << ", ";
+        TermToString(terms_[i], schema, var_names, os);
+      }
+      os << ")";
+      break;
+    case Kind::kEq:
+      TermToString(terms_[0], schema, var_names, os);
+      os << " = ";
+      TermToString(terms_[1], schema, var_names, os);
+      break;
+    case Kind::kNot:
+      os << "!(" << children_[0]->ToString(schema, var_names) << ")";
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind_ == Kind::kAnd ? " & " : " | ";
+      os << "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << sep;
+        os << children_[i]->ToString(schema, var_names);
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kExists:
+      os << "exists v" << exists_var_ << ": ("
+         << children_[0]->ToString(schema, var_names) << ")";
+      break;
+  }
+  return os.str();
+}
+
+FormulaRef Formula::True() {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kTrue;
+  return f;
+}
+
+FormulaRef Formula::False() {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kFalse;
+  return f;
+}
+
+FormulaRef Formula::Rel(int rel, std::vector<Term> terms) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kRel;
+  f->rel_ = rel;
+  f->terms_ = std::move(terms);
+  return f;
+}
+
+FormulaRef Formula::Eq(Term lhs, Term rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kEq;
+  f->terms_.push_back(std::move(lhs));
+  f->terms_.push_back(std::move(rhs));
+  return f;
+}
+
+FormulaRef Formula::Not(FormulaRef inner) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kNot;
+  f->children_.push_back(std::move(inner));
+  return f;
+}
+
+FormulaRef Formula::And(std::vector<FormulaRef> fs) {
+  if (fs.empty()) return True();
+  if (fs.size() == 1) return fs[0];
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAnd;
+  f->children_ = std::move(fs);
+  return f;
+}
+
+FormulaRef Formula::Or(std::vector<FormulaRef> fs) {
+  if (fs.empty()) return False();
+  if (fs.size() == 1) return fs[0];
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kOr;
+  f->children_ = std::move(fs);
+  return f;
+}
+
+FormulaRef Formula::And(FormulaRef a, FormulaRef b) {
+  std::vector<FormulaRef> fs;
+  fs.push_back(std::move(a));
+  fs.push_back(std::move(b));
+  return And(std::move(fs));
+}
+
+FormulaRef Formula::Or(FormulaRef a, FormulaRef b) {
+  std::vector<FormulaRef> fs;
+  fs.push_back(std::move(a));
+  fs.push_back(std::move(b));
+  return Or(std::move(fs));
+}
+
+FormulaRef Formula::Exists(int var, FormulaRef body) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kExists;
+  f->exists_var_ = var;
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+FormulaRef Formula::Neq(Term lhs, Term rhs) {
+  return Not(Eq(std::move(lhs), std::move(rhs)));
+}
+
+Elem EvalTerm(const Term& term, const Structure& s,
+              std::span<const Elem> valuation) {
+  if (term.kind == Term::Kind::kVar) {
+    assert(term.var >= 0 &&
+           term.var < static_cast<int>(valuation.size()));
+    return valuation[term.var];
+  }
+  std::vector<Elem> args(term.args.size());
+  for (std::size_t i = 0; i < term.args.size(); ++i) {
+    args[i] = EvalTerm(term.args[i], s, valuation);
+  }
+  return s.Apply(term.fn, args);
+}
+
+bool EvalFormula(const Formula& f, const Structure& s,
+                 std::span<const Elem> valuation) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return true;
+    case Formula::Kind::kFalse:
+      return false;
+    case Formula::Kind::kRel: {
+      std::vector<Elem> args(f.terms().size());
+      for (std::size_t i = 0; i < f.terms().size(); ++i) {
+        args[i] = EvalTerm(f.terms()[i], s, valuation);
+      }
+      return s.Holds(f.rel(), args);
+    }
+    case Formula::Kind::kEq:
+      return EvalTerm(f.terms()[0], s, valuation) ==
+             EvalTerm(f.terms()[1], s, valuation);
+    case Formula::Kind::kNot:
+      return !EvalFormula(*f.children()[0], s, valuation);
+    case Formula::Kind::kAnd:
+      for (const FormulaRef& c : f.children()) {
+        if (!EvalFormula(*c, s, valuation)) return false;
+      }
+      return true;
+    case Formula::Kind::kOr:
+      for (const FormulaRef& c : f.children()) {
+        if (EvalFormula(*c, s, valuation)) return true;
+      }
+      return false;
+    case Formula::Kind::kExists: {
+      std::vector<Elem> extended(valuation.begin(), valuation.end());
+      const int v = f.exists_var();
+      if (v >= static_cast<int>(extended.size())) {
+        extended.resize(v + 1, 0);
+      }
+      for (Elem e = 0; e < s.size(); ++e) {
+        extended[v] = e;
+        if (EvalFormula(*f.children()[0], s, extended)) return true;
+      }
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
+namespace {
+
+Term RenameTerm(const Term& t, std::span<const int> subst) {
+  if (t.kind == Term::Kind::kVar) {
+    int target = t.var;
+    if (t.var < static_cast<int>(subst.size()) && subst[t.var] >= 0) {
+      target = subst[t.var];
+    }
+    return Term::Var(target);
+  }
+  std::vector<Term> args;
+  args.reserve(t.args.size());
+  for (const Term& a : t.args) args.push_back(RenameTerm(a, subst));
+  return Term::App(t.fn, std::move(args));
+}
+
+}  // namespace
+
+FormulaRef RenameVars(const FormulaRef& f, std::span<const int> subst) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return f;
+    case Formula::Kind::kRel: {
+      std::vector<Term> terms;
+      terms.reserve(f->terms().size());
+      for (const Term& t : f->terms()) terms.push_back(RenameTerm(t, subst));
+      return Formula::Rel(f->rel(), std::move(terms));
+    }
+    case Formula::Kind::kEq:
+      return Formula::Eq(RenameTerm(f->terms()[0], subst),
+                         RenameTerm(f->terms()[1], subst));
+    case Formula::Kind::kNot:
+      return Formula::Not(RenameVars(f->children()[0], subst));
+    case Formula::Kind::kAnd: {
+      std::vector<FormulaRef> cs;
+      for (const FormulaRef& c : f->children()) {
+        cs.push_back(RenameVars(c, subst));
+      }
+      return Formula::And(std::move(cs));
+    }
+    case Formula::Kind::kOr: {
+      std::vector<FormulaRef> cs;
+      for (const FormulaRef& c : f->children()) {
+        cs.push_back(RenameVars(c, subst));
+      }
+      return Formula::Or(std::move(cs));
+    }
+    case Formula::Kind::kExists: {
+      int target = f->exists_var();
+      if (target < static_cast<int>(subst.size()) && subst[target] >= 0) {
+        target = subst[target];
+      }
+      return Formula::Exists(target, RenameVars(f->children()[0], subst));
+    }
+  }
+  return f;  // unreachable
+}
+
+namespace {
+
+FormulaRef StripRec(const FormulaRef& f, int* next_fresh,
+                    std::vector<int>* fresh_vars) {
+  switch (f->kind()) {
+    case Formula::Kind::kExists: {
+      const int fresh = (*next_fresh)++;
+      fresh_vars->push_back(fresh);
+      std::vector<int> subst(f->exists_var() + 1, -1);
+      subst[f->exists_var()] = fresh;
+      FormulaRef body = RenameVars(f->children()[0], subst);
+      return StripRec(body, next_fresh, fresh_vars);
+    }
+    case Formula::Kind::kNot:
+      if (!f->children()[0]->IsQuantifierFree()) {
+        throw std::invalid_argument(
+            "existential quantifier under negation cannot be eliminated "
+            "(Fact 2 requires positive existentials)");
+      }
+      return f;
+    case Formula::Kind::kAnd: {
+      std::vector<FormulaRef> cs;
+      for (const FormulaRef& c : f->children()) {
+        cs.push_back(StripRec(c, next_fresh, fresh_vars));
+      }
+      return Formula::And(std::move(cs));
+    }
+    case Formula::Kind::kOr: {
+      std::vector<FormulaRef> cs;
+      for (const FormulaRef& c : f->children()) {
+        cs.push_back(StripRec(c, next_fresh, fresh_vars));
+      }
+      return Formula::Or(std::move(cs));
+    }
+    default:
+      return f;
+  }
+}
+
+}  // namespace
+
+FormulaRef StripPositiveExistentials(const FormulaRef& f, int first_fresh_var,
+                                     std::vector<int>* fresh_vars) {
+  if (!f->ExistentialsArePositive()) {
+    throw std::invalid_argument(
+        "formula has existential quantifiers under negation");
+  }
+  int next = first_fresh_var;
+  return StripRec(f, &next, fresh_vars);
+}
+
+}  // namespace amalgam

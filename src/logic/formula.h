@@ -1,0 +1,121 @@
+// Quantifier-free (and existential) first-order formulas over a schema.
+//
+// Variables are dense integer ids; the caller fixes their meaning. For
+// database-driven systems the convention (see system/dds.h) is:
+//   id i        = register i, "old" value   (i < k)
+//   id k + i    = register i, "new" value
+//   id >= 2k    = existentially quantified variables.
+#ifndef AMALGAM_LOGIC_FORMULA_H_
+#define AMALGAM_LOGIC_FORMULA_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/schema.h"
+#include "base/structure.h"
+
+namespace amalgam {
+
+/// A first-order term: a variable or a function application.
+struct Term {
+  enum class Kind { kVar, kApp };
+  Kind kind = Kind::kVar;
+  int var = -1;            // kVar: variable id
+  int fn = -1;             // kApp: function id in the schema
+  std::vector<Term> args;  // kApp: argument terms
+
+  static Term Var(int id) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = id;
+    return t;
+  }
+  static Term App(int fn, std::vector<Term> args) {
+    Term t;
+    t.kind = Kind::kApp;
+    t.fn = fn;
+    t.args = std::move(args);
+    return t;
+  }
+};
+
+class Formula;
+using FormulaRef = std::shared_ptr<const Formula>;
+
+/// An immutable formula node. Build with the factory functions below.
+class Formula {
+ public:
+  enum class Kind { kTrue, kFalse, kRel, kEq, kNot, kAnd, kOr, kExists };
+
+  Kind kind() const { return kind_; }
+  int rel() const { return rel_; }
+  const std::vector<Term>& terms() const { return terms_; }
+  const std::vector<FormulaRef>& children() const { return children_; }
+  int exists_var() const { return exists_var_; }
+
+  /// Largest variable id occurring in the formula (including quantified
+  /// ones), or -1 if none.
+  int MaxVar() const;
+
+  /// True if no kExists node occurs anywhere.
+  bool IsQuantifierFree() const;
+
+  /// True if every kExists node occurs under an even number of negations
+  /// (the Fact 2 precondition).
+  bool ExistentialsArePositive() const;
+
+  std::string ToString(const Schema& schema,
+                       const std::vector<std::string>& var_names = {}) const;
+
+  // Factories.
+  static FormulaRef True();
+  static FormulaRef False();
+  static FormulaRef Rel(int rel, std::vector<Term> terms);
+  static FormulaRef Eq(Term lhs, Term rhs);
+  static FormulaRef Not(FormulaRef f);
+  static FormulaRef And(std::vector<FormulaRef> fs);
+  static FormulaRef Or(std::vector<FormulaRef> fs);
+  static FormulaRef And(FormulaRef a, FormulaRef b);
+  static FormulaRef Or(FormulaRef a, FormulaRef b);
+  static FormulaRef Exists(int var, FormulaRef body);
+  /// Convenience: lhs != rhs.
+  static FormulaRef Neq(Term lhs, Term rhs);
+
+ private:
+  Formula() = default;
+
+  Kind kind_ = Kind::kTrue;
+  int rel_ = -1;
+  std::vector<Term> terms_;
+  std::vector<FormulaRef> children_;
+  int exists_var_ = -1;
+};
+
+/// Evaluates a term. `valuation[v]` is the value of variable v; it must
+/// cover every variable in the term.
+Elem EvalTerm(const Term& term, const Structure& s,
+              std::span<const Elem> valuation);
+
+/// Evaluates a formula. Quantifiers range over the whole domain of `s`.
+bool EvalFormula(const Formula& f, const Structure& s,
+                 std::span<const Elem> valuation);
+
+/// Substitutes variables: every occurrence of variable v becomes variable
+/// `subst[v]` (ids not in the map are unchanged; subst entries of -1 mean
+/// "keep"). Quantified variables are renamed too when present in the map,
+/// so callers must pass fresh targets for them.
+FormulaRef RenameVars(const FormulaRef& f, std::span<const int> subst);
+
+/// Strips positive existential quantifiers, renaming each quantified
+/// variable to a fresh id starting at `first_fresh_var`. Returns the
+/// quantifier-free body and appends the fresh ids to `fresh_vars`.
+/// Precondition: f.ExistentialsArePositive(). This is the formula half of
+/// Fact 2; system/existential.h turns the fresh variables into registers.
+FormulaRef StripPositiveExistentials(const FormulaRef& f, int first_fresh_var,
+                                     std::vector<int>* fresh_vars);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_LOGIC_FORMULA_H_

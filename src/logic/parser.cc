@@ -1,0 +1,224 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace amalgam {
+
+int VarTable::Register(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  int id = static_cast<int>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+int VarTable::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, const Schema& schema, VarTable* vars)
+      : text_(text), schema_(schema), vars_(vars) {}
+
+  FormulaRef Parse() {
+    FormulaRef f = ParseOr();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing input");
+    return f;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw std::invalid_argument("parse error at offset " +
+                                std::to_string(pos_) + ": " + message +
+                                " in \"" + text_ + "\"");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const std::string& word) {
+    SkipSpace();
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      std::size_t end = pos_ + word.size();
+      if (end == text_.size() ||
+          !(std::isalnum(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '_')) {
+        pos_ = end;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string ParseName() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  FormulaRef ParseOr() {
+    std::vector<FormulaRef> parts;
+    parts.push_back(ParseAnd());
+    while (Consume('|')) parts.push_back(ParseAnd());
+    return Formula::Or(std::move(parts));
+  }
+
+  FormulaRef ParseAnd() {
+    std::vector<FormulaRef> parts;
+    parts.push_back(ParseUnary());
+    while (Consume('&')) parts.push_back(ParseUnary());
+    return Formula::And(std::move(parts));
+  }
+
+  FormulaRef ParseUnary() {
+    SkipSpace();
+    if (Consume('!')) return Formula::Not(ParseUnary());
+    if (Consume('(')) {
+      // Could be a parenthesized formula — but note "(" never starts a term
+      // in this grammar, so this is unambiguous.
+      FormulaRef f = ParseOr();
+      if (!Consume(')')) Fail("expected ')'");
+      return MaybeComparison(f);
+    }
+    if (ConsumeWord("true")) return Formula::True();
+    if (ConsumeWord("false")) return Formula::False();
+    if (ConsumeWord("exists")) {
+      // Bound names shadow outer variables within the body; each binder gets
+      // a globally fresh id (synthesized name in the table) so that several
+      // guards parsed with the same table never collide.
+      std::vector<std::pair<std::string, int>> bound;
+      while (true) {
+        std::string name = ParseName();
+        int id = vars_->Register(name + "$q" + std::to_string(vars_->size()));
+        bound.emplace_back(name, id);
+        if (!Consume(',')) break;
+      }
+      if (!Consume(':')) Fail("expected ':' after exists binder");
+      for (const auto& [name, id] : bound) {
+        local_scope_.emplace_back(name, id);
+      }
+      FormulaRef body = ParseUnary();
+      local_scope_.resize(local_scope_.size() - bound.size());
+      for (auto it = bound.rbegin(); it != bound.rend(); ++it) {
+        body = Formula::Exists(it->second, body);
+      }
+      return body;
+    }
+    // A name: relation atom, or a term followed by =/!=.
+    std::size_t save = pos_;
+    std::string name = ParseName();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(' &&
+        schema_.RelationId(name) >= 0) {
+      int rel = schema_.RelationId(name);
+      ++pos_;  // consume '('
+      std::vector<Term> args;
+      if (!Consume(')')) {
+        while (true) {
+          args.push_back(ParseTerm());
+          if (Consume(')')) break;
+          if (!Consume(',')) Fail("expected ',' or ')' in atom");
+        }
+      }
+      if (static_cast<int>(args.size()) != schema_.relation(rel).arity) {
+        Fail("arity mismatch for relation " + name);
+      }
+      return Formula::Rel(rel, std::move(args));
+    }
+    // Re-parse as a term comparison.
+    pos_ = save;
+    Term lhs = ParseTerm();
+    SkipSpace();
+    bool negated = false;
+    if (pos_ + 1 < text_.size() && text_[pos_] == '!' &&
+        text_[pos_ + 1] == '=') {
+      pos_ += 2;
+      negated = true;
+    } else if (Consume('=')) {
+      // ok
+    } else {
+      Fail("expected '=' or '!=' after term");
+    }
+    Term rhs = ParseTerm();
+    FormulaRef eq = Formula::Eq(std::move(lhs), std::move(rhs));
+    return negated ? Formula::Not(std::move(eq)) : eq;
+  }
+
+  // Allows "(t) = u" style comparisons after a parenthesized formula only if
+  // it wasn't a formula — in practice formulas and terms are disjoint here,
+  // so this simply returns f.
+  FormulaRef MaybeComparison(FormulaRef f) { return f; }
+
+  Term ParseTerm() {
+    std::string name = ParseName();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      int fn = schema_.FunctionId(name);
+      if (fn < 0) Fail("unknown function " + name);
+      ++pos_;  // consume '('
+      std::vector<Term> args;
+      if (!Consume(')')) {
+        while (true) {
+          args.push_back(ParseTerm());
+          if (Consume(')')) break;
+          if (!Consume(',')) Fail("expected ',' or ')' in term");
+        }
+      }
+      if (static_cast<int>(args.size()) != schema_.function(fn).arity) {
+        Fail("arity mismatch for function " + name);
+      }
+      return Term::App(fn, std::move(args));
+    }
+    if (schema_.FunctionId(name) >= 0 && schema_.function(
+            schema_.FunctionId(name)).arity == 0) {
+      return Term::App(schema_.FunctionId(name), {});
+    }
+    for (auto it = local_scope_.rbegin(); it != local_scope_.rend(); ++it) {
+      if (it->first == name) return Term::Var(it->second);
+    }
+    int var = vars_->Lookup(name);
+    if (var < 0) Fail("unknown variable " + name);
+    return Term::Var(var);
+  }
+
+  const std::string& text_;
+  const Schema& schema_;
+  VarTable* vars_;
+  std::vector<std::pair<std::string, int>> local_scope_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FormulaRef ParseFormula(const std::string& text, const Schema& schema,
+                        VarTable* vars) {
+  return Parser(text, schema, vars).Parse();
+}
+
+}  // namespace amalgam

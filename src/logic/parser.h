@@ -1,0 +1,53 @@
+// A small text syntax for guards, used by the examples and tests.
+//
+//   formula := or
+//   or      := and ('|' and)*
+//   and     := unary ('&' unary)*
+//   unary   := '!' unary | '(' formula ')' | 'true' | 'false'
+//            | 'exists' name (',' name)* ':' unary
+//            | term ('=' | '!=') term
+//            | RelName '(' term (',' term)* ')'
+//   term    := name | FnName '(' term (',' term)* ')'
+//
+// Names resolve against the schema first (relation / function symbols) and
+// then against the variable table. Unknown names inside a formula become an
+// error; `exists` introduces fresh variables scoped to its body.
+#ifndef AMALGAM_LOGIC_PARSER_H_
+#define AMALGAM_LOGIC_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+
+namespace amalgam {
+
+/// Variable name table: maps names to dense variable ids. For systems,
+/// register the "x_old"/"x_new" names before parsing guards.
+class VarTable {
+ public:
+  /// Registers a name; returns its id. Registering an existing name returns
+  /// the existing id.
+  int Register(const std::string& name);
+  /// Returns the id of a name, or -1.
+  int Lookup(const std::string& name) const;
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::map<std::string, int, std::less<>> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Parses `text` into a formula over `schema` with variables from `vars`.
+/// `exists`-bound variables get fresh ids above the table (and above any
+/// previously allocated quantified ids); they are appended to `vars` with
+/// synthesized names so that ids remain consistent across multiple parses
+/// with the same table. Throws std::invalid_argument on syntax errors.
+FormulaRef ParseFormula(const std::string& text, const Schema& schema,
+                        VarTable* vars);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_LOGIC_PARSER_H_

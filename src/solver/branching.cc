@@ -1,0 +1,184 @@
+#include "solver/branching.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/canonical.h"
+
+namespace amalgam {
+
+void BranchingSystem::AddRule(
+    int from,
+    const std::vector<std::pair<std::string, int>>& guarded_targets) {
+  BranchingRule rule;
+  rule.from = from;
+  for (const auto& [guard_text, to] : guarded_targets) {
+    rule.branches.push_back(Branch{skeleton_.ParseGuard(guard_text), to});
+  }
+  rules_.push_back(std::move(rule));
+}
+
+namespace {
+
+std::string RawKey(const Structure& s, std::span<const Elem> marks) {
+  std::string key;
+  key.reserve(marks.size() + 8);
+  for (Elem m : marks) key.push_back(static_cast<char>(m));
+  key.push_back('\x02');
+  key += s.EncodeContent();
+  return key;
+}
+
+struct ShapeRegistry {
+  std::vector<CanonicalForm> shapes;
+  std::unordered_map<std::string, int> by_canonical_key;
+  std::unordered_map<std::string, int> by_raw_key;
+
+  int Intern(const Structure& sub, std::span<const Elem> marks) {
+    std::string raw = RawKey(sub, marks);
+    auto raw_it = by_raw_key.find(raw);
+    if (raw_it != by_raw_key.end()) return raw_it->second;
+    CanonicalForm canon = Canonicalize(sub, marks);
+    auto it = by_canonical_key.find(canon.key);
+    int id;
+    if (it != by_canonical_key.end()) {
+      id = it->second;
+    } else {
+      id = static_cast<int>(shapes.size());
+      by_canonical_key.emplace(canon.key, id);
+      shapes.push_back(std::move(canon));
+    }
+    by_raw_key.emplace(std::move(raw), id);
+    return id;
+  }
+};
+
+int InternProjection(ShapeRegistry& registry, const Structure& joint,
+                     std::span<const Elem> marks) {
+  SubstructureResult sub = GeneratedSubstructure(joint, marks);
+  std::vector<Elem> sub_marks(marks.size());
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    sub_marks[i] = sub.old_to_new[marks[i]];
+  }
+  return registry.Intern(sub.structure, sub_marks);
+}
+
+}  // namespace
+
+BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
+                                             const FraisseClass& cls) {
+  const DdsSystem& skel = system.skeleton();
+  for (const BranchingRule& rule : system.rules()) {
+    for (const Branch& branch : rule.branches) {
+      if (!branch.guard->IsQuantifierFree()) {
+        throw std::invalid_argument("branching guards must be QF");
+      }
+    }
+  }
+  if (!IsPrefixSchema(skel.schema(), *cls.schema())) {
+    throw std::invalid_argument(
+        "the system's schema must be a prefix of the class's schema");
+  }
+  const int k = skel.num_registers();
+  BranchingSolveResult result;
+  ShapeRegistry registry;
+
+  std::vector<int> initial_shapes;
+  cls.EnumerateGenerated(k, [&](const Structure& d,
+                                std::span<const Elem> marks) {
+    ++result.stats.members_enumerated;
+    initial_shapes.push_back(registry.Intern(d, marks));
+  });
+
+  // Edge sets, per (rule, branch): old_shape -> set of new_shapes.
+  std::size_t num_branches = 0;
+  for (const BranchingRule& rule : system.rules()) {
+    num_branches += rule.branches.size();
+  }
+  std::vector<std::unordered_map<int, std::unordered_set<int>>> edges(
+      num_branches);
+  std::vector<Elem> valuation(2 * k);
+  cls.EnumerateGenerated(2 * k, [&](const Structure& d,
+                                    std::span<const Elem> marks) {
+    ++result.stats.members_enumerated;
+    for (int i = 0; i < 2 * k; ++i) valuation[i] = marks[i];
+    int old_shape = -1, new_shape = -1;
+    std::size_t branch_index = 0;
+    for (const BranchingRule& rule : system.rules()) {
+      for (const Branch& branch : rule.branches) {
+        ++result.stats.guard_evaluations;
+        if (EvalFormula(*branch.guard, d, valuation)) {
+          if (old_shape < 0) {
+            old_shape = InternProjection(
+                registry, d, std::span<const Elem>(marks.data(), k));
+            new_shape = InternProjection(
+                registry, d, std::span<const Elem>(marks.data() + k, k));
+          }
+          if (edges[branch_index][old_shape].insert(new_shape).second) {
+            ++result.stats.edges;
+          }
+        }
+        ++branch_index;
+      }
+    }
+  });
+  const int num_shapes = static_cast<int>(registry.shapes.size());
+  const int num_states = skel.num_states();
+  result.stats.configs =
+      static_cast<std::uint64_t>(num_shapes) * num_states;
+
+  // Backward least fixpoint: alive(state, shape).
+  std::vector<char> alive(static_cast<std::size_t>(num_shapes) * num_states,
+                          0);
+  auto idx = [&](int state, int shape) { return shape * num_states + state; };
+  for (int q = 0; q < num_states; ++q) {
+    if (!skel.is_accepting(q)) continue;
+    for (int s = 0; s < num_shapes; ++s) alive[idx(q, s)] = 1;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::size_t branch_base = 0;
+    for (const BranchingRule& rule : system.rules()) {
+      for (int s = 0; s < num_shapes; ++s) {
+        if (alive[idx(rule.from, s)]) continue;
+        bool all_branches = true;
+        for (std::size_t b = 0; b < rule.branches.size() && all_branches;
+             ++b) {
+          const auto& branch_edges = edges[branch_base + b];
+          auto it = branch_edges.find(s);
+          bool some_alive = false;
+          if (it != branch_edges.end()) {
+            for (int t : it->second) {
+              if (alive[idx(rule.branches[b].to, t)]) {
+                some_alive = true;
+                break;
+              }
+            }
+          }
+          all_branches &= some_alive;
+        }
+        if (all_branches && !rule.branches.empty()) {
+          alive[idx(rule.from, s)] = 1;
+          changed = true;
+        }
+      }
+      branch_base += rule.branches.size();
+    }
+  }
+
+  for (int q = 0; q < num_states && !result.nonempty; ++q) {
+    if (!skel.is_initial(q)) continue;
+    for (int s : initial_shapes) {
+      if (alive[idx(q, s)]) {
+        result.nonempty = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace amalgam

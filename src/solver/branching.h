@@ -1,0 +1,72 @@
+// The branching extension of database-driven systems (paper §4.5, second
+// bullet): a transition may spawn several successor configurations, all
+// driven by the same database; a run is a finite tree of configurations
+// whose leaves are accepting. Emptiness remains decidable over Fraïssé
+// classes: per-branch sub-transitions amalgamate over the shared parent
+// configuration, so a backward least fixpoint over small configurations
+// ("alive" = accepting or some rule with all branches leading to alive
+// configurations) decides the problem on the same sub-transition relation
+// the linear solver builds.
+#ifndef AMALGAM_SOLVER_BRANCHING_H_
+#define AMALGAM_SOLVER_BRANCHING_H_
+
+#include <vector>
+
+#include "fraisse/fraisse_class.h"
+#include "solver/emptiness.h"
+#include "system/dds.h"
+
+namespace amalgam {
+
+/// One branch of a branching rule: a guard (quantifier-free, over the
+/// usual old/new variable convention) and the successor control state.
+struct Branch {
+  FormulaRef guard;
+  int to = -1;
+};
+
+/// A branching rule: from `from`, spawn one successor per branch (all
+/// branches fire together; each choice of new register values must satisfy
+/// its branch's guard).
+struct BranchingRule {
+  int from = -1;
+  std::vector<Branch> branches;
+};
+
+/// A branching database-driven system: a DdsSystem-style control skeleton
+/// (reuses DdsSystem for states/registers/parsing) plus branching rules.
+class BranchingSystem {
+ public:
+  explicit BranchingSystem(SchemaRef schema) : skeleton_(std::move(schema)) {}
+
+  int AddState(std::string name, bool initial = false, bool accepting = false) {
+    return skeleton_.AddState(std::move(name), initial, accepting);
+  }
+  int AddRegister(std::string name) {
+    return skeleton_.AddRegister(std::move(name));
+  }
+  /// Adds a branching rule; guards in parser syntax.
+  void AddRule(int from, const std::vector<std::pair<std::string, int>>&
+                             guarded_targets);
+
+  const DdsSystem& skeleton() const { return skeleton_; }
+  const std::vector<BranchingRule>& rules() const { return rules_; }
+
+ private:
+  DdsSystem skeleton_;
+  std::vector<BranchingRule> rules_;
+};
+
+struct BranchingSolveResult {
+  bool nonempty = false;
+  SolveStats stats;
+};
+
+/// Decides: is there a database in `cls` driving a finite accepting run
+/// tree of `system`?
+BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
+                                             const FraisseClass& cls);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SOLVER_BRANCHING_H_

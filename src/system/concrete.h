@@ -1,0 +1,47 @@
+// Concrete semantics of database-driven systems: runs driven by a *given*
+// database (paper §2). Used as the ground truth in differential tests and
+// to validate witnesses produced by the amalgamation solver.
+#ifndef AMALGAM_SYSTEM_CONCRETE_H_
+#define AMALGAM_SYSTEM_CONCRETE_H_
+
+#include <optional>
+#include <vector>
+
+#include "base/structure.h"
+#include "system/dds.h"
+
+namespace amalgam {
+
+/// One configuration of a run: control state + register valuation
+/// (valuation[i] = element held by register i).
+struct ConcreteConfig {
+  int state = -1;
+  std::vector<Elem> valuation;
+
+  bool operator==(const ConcreteConfig&) const = default;
+};
+
+/// A run is a sequence of configurations over one shared database.
+using ConcreteRun = std::vector<ConcreteConfig>;
+
+/// Evaluates a rule guard for the given old/new register valuations.
+bool EvalGuard(const DdsSystem& system, const TransitionRule& rule,
+               const Structure& db, std::span<const Elem> old_val,
+               std::span<const Elem> new_val);
+
+/// Checks that `run` is a valid accepting run of `system` driven by `db`:
+/// starts in an initial state, consecutive configurations are connected by
+/// some rule, ends in an accepting state.
+bool ValidateAcceptingRun(const DdsSystem& system, const Structure& db,
+                          const ConcreteRun& run);
+
+/// Explicit-state BFS over (state, valuation) for a fixed database. Returns
+/// a shortest accepting run, or nullopt if none exists. The search space is
+/// num_states * |db|^k; intended for small databases (differential tests,
+/// witness checking).
+std::optional<ConcreteRun> FindAcceptingRun(const DdsSystem& system,
+                                            const Structure& db);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SYSTEM_CONCRETE_H_

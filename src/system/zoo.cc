@@ -1,0 +1,74 @@
+#include "system/zoo.h"
+
+namespace amalgam {
+
+SchemaRef GraphZooSchema() {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("red", 1);
+  return MakeSchema(std::move(s));
+}
+
+DdsSystem OddRedCycleSystem() {
+  DdsSystem system(GraphZooSchema());
+  int start = system.AddState("start", /*initial=*/true);
+  int q0 = system.AddState("q0");
+  int q1 = system.AddState("q1");
+  int end = system.AddState("end", /*initial=*/false, /*accepting=*/true);
+  system.AddRegister("x");
+  system.AddRegister("y");
+  const std::string step =
+      "x_old = x_new & E(y_old, y_new) & red(y_new)";
+  const std::string pinch =
+      "x_old = x_new & y_old = y_new & x_old = y_old";
+  system.AddRule(q0, q1, step);
+  system.AddRule(q1, q0, step);
+  system.AddRule(start, q0, pinch);
+  system.AddRule(q1, end, pinch);
+  return system;
+}
+
+Structure Example1Graph() {
+  Structure g(GraphZooSchema(), 5);
+  for (Elem i = 0; i < 5; ++i) {
+    g.SetHolds2(0, i, (i + 1) % 5);
+    g.SetHolds1(1, i);
+  }
+  return g;
+}
+
+Structure Example2Template() {
+  Structure h(GraphZooSchema(), 3);
+  // Nodes 0,1: red 2-clique. Node 2: white with a self-loop, connected both
+  // ways to everything (absorbs all non-red structure).
+  h.SetHolds1(1, 0);
+  h.SetHolds1(1, 1);
+  h.SetHolds2(0, 0, 1);
+  h.SetHolds2(0, 1, 0);
+  for (Elem i = 0; i < 3; ++i) {
+    h.SetHolds2(0, i, 2);
+    h.SetHolds2(0, 2, i);
+  }
+  return h;
+}
+
+DdsSystem ReachRedSystem() {
+  DdsSystem system(GraphZooSchema());
+  int walk = system.AddState("walk", /*initial=*/true);
+  int done = system.AddState("done", /*initial=*/false, /*accepting=*/true);
+  system.AddRegister("x");
+  system.AddRule(walk, walk, "E(x_old, x_new)");
+  system.AddRule(walk, done, "x_old = x_new & red(x_old)");
+  return system;
+}
+
+DdsSystem ContradictionSystem() {
+  DdsSystem system(GraphZooSchema());
+  int a = system.AddState("a", /*initial=*/true);
+  int b = system.AddState("b", /*initial=*/false, /*accepting=*/true);
+  system.AddRegister("x");
+  system.AddRule(a, b, "x_old != x_old");
+  return system;
+}
+
+}  // namespace amalgam

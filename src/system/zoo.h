@@ -1,0 +1,41 @@
+// A zoo of small example systems and databases shared by tests, examples
+// and benchmarks. Includes the paper's running examples.
+#ifndef AMALGAM_SYSTEM_ZOO_H_
+#define AMALGAM_SYSTEM_ZOO_H_
+
+#include "base/structure.h"
+#include "system/dds.h"
+
+namespace amalgam {
+
+/// The graph schema of Example 1: binary E, unary red.
+SchemaRef GraphZooSchema();
+
+/// Example 1: a system whose accepting runs trace odd-length cycles of red
+/// nodes. States {start, q0, q1, end}; registers {x, y}.
+DdsSystem OddRedCycleSystem();
+
+/// The 5-node graph of Example 1 (nodes 1..5 there are 0..4 here; the odd
+/// red cycle is 0-1-2-3-4-0 restricted to the red nodes as in the paper's
+/// picture: all of 0..4 red, edges forming the depicted 5-cycle).
+Structure Example1Graph();
+
+/// The template H of Example 2: graphs mapping homomorphically to it are
+/// exactly those without odd red cycles. Concretely: two red nodes forming
+/// a 2-clique (an odd red cycle needs an odd cycle in the red part, which
+/// K2 forbids) plus one looped white node absorbing everything else.
+Structure Example2Template();
+
+/// A directed-reachability system with one register: moves the register
+/// along E edges from some node to some red node. Accepts iff the database
+/// has an edge-path from anywhere to a red node (non-empty over most
+/// classes; useful as a trivially satisfiable case).
+DdsSystem ReachRedSystem();
+
+/// A system that is empty over *every* class: its only rule requires
+/// x_old != x_old.
+DdsSystem ContradictionSystem();
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SYSTEM_ZOO_H_

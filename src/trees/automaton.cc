@@ -1,0 +1,410 @@
+#include "trees/automaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace amalgam {
+
+int TreeAutomaton::AddState(int label, bool root, bool leaf, bool rightmost) {
+  assert(label >= 0 && label < num_labels());
+  label_of_.push_back(label);
+  root_.push_back(root);
+  leaf_.push_back(leaf);
+  rightmost_.push_back(rightmost);
+  const int n = num_states();
+  for (auto& row : first_child_) row.resize(n, false);
+  for (auto& row : next_sibling_) row.resize(n, false);
+  first_child_.emplace_back(n, false);
+  next_sibling_.emplace_back(n, false);
+  analyzed_ = false;
+  return n - 1;
+}
+
+void TreeAutomaton::AddFirstChild(int parent, int child) {
+  analyzed_ = false;
+  first_child_[parent][child] = true;
+}
+
+void TreeAutomaton::AddNextSibling(int left, int right) {
+  analyzed_ = false;
+  next_sibling_[left][right] = true;
+}
+
+bool TreeAutomaton::IsRun(const Tree& t, const std::vector<int>& states) const {
+  if (static_cast<int>(states.size()) != t.size() || t.size() == 0) {
+    return false;
+  }
+  for (int v = 0; v < t.size(); ++v) {
+    int q = states[v];
+    if (q < 0 || q >= num_states()) return false;
+    if (label_of_[q] != t.label[v]) return false;
+    if (v == 0 && !root_[q]) return false;
+    if (t.children[v].empty() && !leaf_[q]) return false;
+    const auto& kids = t.children[v];
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      if (i == 0 && !first_child_[q][states[kids[0]]]) return false;
+      if (i > 0 && !next_sibling_[states[kids[i - 1]]][states[kids[i]]]) {
+        return false;
+      }
+      if (i + 1 == kids.size() && !rightmost_[states[kids[i]]]) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<int>> TreeAutomaton::FindRun(const Tree& t) const {
+  if (t.size() == 0) return std::nullopt;
+  std::vector<int> states(t.size(), -1);
+  // Assign in an order where the parent and left sibling come first: node
+  // ids from our builders satisfy parent < id and siblings appear left to
+  // right in id order within a children list... do a preorder walk to be
+  // safe.
+  std::vector<int> order;
+  std::function<void(int)> collect = [&](int v) {
+    order.push_back(v);
+    for (int c : t.children[v]) collect(c);
+  };
+  collect(0);
+
+  std::function<bool(std::size_t)> rec = [&](std::size_t idx) -> bool {
+    if (idx == order.size()) return true;
+    const int v = order[idx];
+    for (int q = 0; q < num_states(); ++q) {
+      if (label_of_[q] != t.label[v]) continue;
+      if (v == 0 && !root_[q]) continue;
+      if (t.children[v].empty() && !leaf_[q]) continue;
+      // Relation to parent / left sibling (both already assigned in
+      // preorder... left sibling subtree precedes v in preorder, parent
+      // precedes v).
+      if (v != 0) {
+        const auto& sibs = t.children[t.parent[v]];
+        const std::size_t pos =
+            std::find(sibs.begin(), sibs.end(), v) - sibs.begin();
+        if (pos == 0) {
+          if (!first_child_[states[t.parent[v]]][q]) continue;
+        } else if (!next_sibling_[states[sibs[pos - 1]]][q]) {
+          continue;
+        }
+        if (pos + 1 == sibs.size() && !rightmost_[q]) continue;
+      }
+      states[v] = q;
+      if (rec(idx + 1)) return true;
+      states[v] = -1;
+    }
+    return false;
+  };
+  if (!rec(0)) return std::nullopt;
+  return states;
+}
+
+bool TreeAutomaton::Accepts(const Tree& t) const {
+  return FindRun(t).has_value();
+}
+
+void TreeAutomaton::EnsureAnalyses() const {
+  if (analyzed_) return;
+  const int n = num_states();
+
+  // ---- Subtree realizability (least fixpoint). ----
+  subtree_realizable_.assign(n, false);
+  bool changed = true;
+  auto word_exists = [&](int parent, int must_contain) -> bool {
+    // Is there a children word of `parent` over subtree-realizable states,
+    // optionally containing `must_contain` (-1 = no requirement)?
+    // BFS over (state, seen_must) pairs.
+    std::vector<std::vector<bool>> visited(
+        n, std::vector<bool>(2, false));
+    std::queue<std::pair<int, bool>> queue;
+    for (int c = 0; c < n; ++c) {
+      if (first_child_[parent][c] && subtree_realizable_[c]) {
+        bool seen = (c == must_contain);
+        if (!visited[c][seen]) {
+          visited[c][seen] = true;
+          queue.emplace(c, seen);
+        }
+      }
+    }
+    while (!queue.empty()) {
+      auto [c, seen] = queue.front();
+      queue.pop();
+      if (rightmost_[c] && (must_contain < 0 || seen)) return true;
+      for (int d = 0; d < n; ++d) {
+        if (!next_sibling_[c][d] || !subtree_realizable_[d]) continue;
+        bool seen2 = seen || (d == must_contain);
+        if (!visited[d][seen2]) {
+          visited[d][seen2] = true;
+          queue.emplace(d, seen2);
+        }
+      }
+    }
+    return false;
+  };
+  while (changed) {
+    changed = false;
+    for (int q = 0; q < n; ++q) {
+      if (subtree_realizable_[q]) continue;
+      if (leaf_[q] || word_exists(q, -1)) {
+        subtree_realizable_[q] = true;
+        changed = true;
+      }
+    }
+  }
+
+  // ---- Raw child relation over realizable states. ----
+  child_ok_.assign(n, std::vector<bool>(n, false));
+  for (int p = 0; p < n; ++p) {
+    if (!subtree_realizable_[p]) continue;
+    for (int c = 0; c < n; ++c) {
+      if (subtree_realizable_[c]) child_ok_[p][c] = word_exists(p, c);
+    }
+  }
+
+  // ---- Productivity: reachable from a realizable root state. ----
+  productive_.assign(n, false);
+  std::queue<int> queue;
+  for (int q = 0; q < n; ++q) {
+    if (root_[q] && subtree_realizable_[q]) {
+      productive_[q] = true;
+      queue.push(q);
+    }
+  }
+  while (!queue.empty()) {
+    int p = queue.front();
+    queue.pop();
+    for (int c = 0; c < n; ++c) {
+      if (child_ok_[p][c] && !productive_[c]) {
+        productive_[c] = true;
+        queue.push(c);
+      }
+    }
+  }
+  for (int p = 0; p < n; ++p) {
+    for (int c = 0; c < n; ++c) {
+      if (!productive_[p] || !productive_[c]) child_ok_[p][c] = false;
+    }
+  }
+
+  // ---- Descendant components (Tarjan on child_ok over productive). ----
+  components_.assign(n, -1);
+  {
+    std::vector<int> index(n, -1), low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<int> stack;
+    int next_index = 0, next_comp = 0;
+    std::function<void(int)> strongconnect = [&](int v) {
+      index[v] = low[v] = next_index++;
+      stack.push_back(v);
+      on_stack[v] = true;
+      for (int w = 0; w < n; ++w) {
+        if (!child_ok_[v][w]) continue;
+        if (index[w] < 0) {
+          strongconnect(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+      if (low[v] == index[v]) {
+        while (true) {
+          int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          components_[w] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+    };
+    for (int v = 0; v < n; ++v) {
+      if (productive_[v] && index[v] < 0) strongconnect(v);
+    }
+    num_components_ = next_comp;
+    // Flip to topological order (ancestors' components <= descendants').
+    for (int v = 0; v < n; ++v) {
+      if (components_[v] >= 0) {
+        components_[v] = num_components_ - 1 - components_[v];
+      }
+    }
+  }
+
+  // ---- Branching classification. ----
+  branching_.assign(num_components_, false);
+  for (int p = 0; p < n; ++p) {
+    if (!productive_[p] || components_[p] < 0) continue;
+    const int c = components_[p];
+    // Does some children word of p contain two states of component c?
+    // BFS over (state, count of c-occurrences capped at 2).
+    std::vector<std::vector<bool>> visited(n, std::vector<bool>(3, false));
+    std::queue<std::pair<int, int>> bfs;
+    for (int s = 0; s < n; ++s) {
+      if (first_child_[p][s] && subtree_realizable_[s] && productive_[s]) {
+        int cnt = components_[s] == c ? 1 : 0;
+        if (!visited[s][cnt]) {
+          visited[s][cnt] = true;
+          bfs.emplace(s, cnt);
+        }
+      }
+    }
+    while (!bfs.empty()) {
+      auto [s, cnt] = bfs.front();
+      bfs.pop();
+      if (cnt >= 2 && rightmost_[s]) {
+        // Need the word to terminate; continue BFS until a rightmost state
+        // is reached with cnt >= 2 — `s` may itself be rightmost.
+        branching_[c] = true;
+        break;
+      }
+      if (cnt >= 2 && !branching_[c]) {
+        // Check completion to a rightmost state through realizable states.
+        // (Handled by continuing the BFS; the early return above fires when
+        // we reach one.)
+      }
+      for (int d = 0; d < n; ++d) {
+        if (!next_sibling_[s][d] || !subtree_realizable_[d] ||
+            !productive_[d]) {
+          continue;
+        }
+        int cnt2 = std::min(2, cnt + (components_[d] == c ? 1 : 0));
+        if (!visited[d][cnt2]) {
+          visited[d][cnt2] = true;
+          bfs.emplace(d, cnt2);
+        }
+      }
+    }
+  }
+
+  analyzed_ = true;
+}
+
+bool TreeAutomaton::SubtreeRealizable(int q) const {
+  EnsureAnalyses();
+  return subtree_realizable_[q];
+}
+
+bool TreeAutomaton::Productive(int q) const {
+  EnsureAnalyses();
+  return productive_[q];
+}
+
+bool TreeAutomaton::ChildOk(int parent, int child) const {
+  EnsureAnalyses();
+  return child_ok_[parent][child];
+}
+
+const std::vector<int>& TreeAutomaton::DescendantComponents() const {
+  EnsureAnalyses();
+  return components_;
+}
+
+int TreeAutomaton::NumDescendantComponents() const {
+  EnsureAnalyses();
+  return num_components_;
+}
+
+bool TreeAutomaton::IsBranching(int c) const {
+  EnsureAnalyses();
+  return c >= 0 && c < num_components_ && branching_[c];
+}
+
+std::optional<std::pair<Tree, std::vector<int>>> TreeAutomaton::MinimalSubtree(
+    int q) const {
+  EnsureAnalyses();
+  if (!subtree_realizable_[q]) return std::nullopt;
+  const int n = num_states();
+  // min_size[s]: size of the smallest complete subtree rooted in state s.
+  constexpr long kInf = std::numeric_limits<long>::max() / 4;
+  std::vector<long> min_size(n, kInf);
+  for (int round = 0; round <= n + 1; ++round) {
+    for (int s = 0; s < n; ++s) {
+      if (leaf_[s]) min_size[s] = 1;
+      if (!subtree_realizable_[s]) continue;
+      // Cheapest realizable children word: Dijkstra over ns-graph with
+      // node weight min_size[c].
+      std::vector<long> best(n, kInf);
+      using Entry = std::pair<long, int>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+      for (int c = 0; c < n; ++c) {
+        if (first_child_[s][c] && min_size[c] < kInf) {
+          if (min_size[c] < best[c]) {
+            best[c] = min_size[c];
+            pq.emplace(best[c], c);
+          }
+        }
+      }
+      long cheapest = kInf;
+      while (!pq.empty()) {
+        auto [cost, c] = pq.top();
+        pq.pop();
+        if (cost > best[c]) continue;
+        if (rightmost_[c]) cheapest = std::min(cheapest, cost);
+        for (int d = 0; d < n; ++d) {
+          if (!next_sibling_[c][d] || min_size[d] >= kInf) continue;
+          long cost2 = cost + min_size[d];
+          if (cost2 < best[d]) {
+            best[d] = cost2;
+            pq.emplace(cost2, d);
+          }
+        }
+      }
+      if (cheapest < kInf) min_size[s] = std::min(min_size[s], 1 + cheapest);
+    }
+  }
+  if (min_size[q] >= kInf) return std::nullopt;
+
+  // Reconstruct recursively.
+  Tree tree;
+  std::vector<int> states;
+  std::function<int(int, int)> build = [&](int s, int parent_node) -> int {
+    int node = parent_node < 0 ? tree.AddNode(-1, label_of_[s])
+                               : tree.AddNode(parent_node, label_of_[s]);
+    states.resize(tree.size());
+    states[node] = s;
+    if (leaf_[s] && min_size[s] == 1) return node;
+    // Recompute the cheapest children word with parent tracking.
+    const long target = min_size[s] - 1;
+    std::vector<long> best(n, kInf);
+    std::vector<int> prev(n, -2);
+    using Entry = std::pair<long, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    for (int c = 0; c < n; ++c) {
+      if (first_child_[s][c] && min_size[c] < kInf &&
+          min_size[c] < best[c]) {
+        best[c] = min_size[c];
+        prev[c] = -1;
+        pq.emplace(best[c], c);
+      }
+    }
+    int end_state = -1;
+    while (!pq.empty()) {
+      auto [cost, c] = pq.top();
+      pq.pop();
+      if (cost > best[c]) continue;
+      if (rightmost_[c] && cost == target) {
+        end_state = c;
+        break;
+      }
+      for (int d = 0; d < n; ++d) {
+        if (!next_sibling_[c][d] || min_size[d] >= kInf) continue;
+        long cost2 = cost + min_size[d];
+        if (cost2 < best[d]) {
+          best[d] = cost2;
+          prev[d] = c;
+          pq.emplace(cost2, d);
+        }
+      }
+    }
+    assert(end_state >= 0 && "reconstruction must match the fixpoint");
+    std::vector<int> word;
+    for (int c = end_state; c != -1; c = prev[c]) word.push_back(c);
+    std::reverse(word.begin(), word.end());
+    for (int c : word) build(c, node);
+    return node;
+  };
+  build(q, -1);
+  return std::make_pair(std::move(tree), std::move(states));
+}
+
+}  // namespace amalgam

@@ -1,0 +1,107 @@
+// Tree automata in the paper's model (§5.3): states read unique letters; a
+// run labels every node with a state subject to
+//   * the root carries a root state,
+//   * leaves carry leaf states,
+//   * the leftmost child's state relates to the parent's by `firstchild`,
+//   * consecutive siblings relate by `nextsibling`,
+//   * rightmost children carry rightmost states.
+// Also computes the derived data the run class needs: trimming, the
+// child-state relation, descendant components, and their linear/branching
+// classification.
+#ifndef AMALGAM_TREES_AUTOMATON_H_
+#define AMALGAM_TREES_AUTOMATON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trees/tree.h"
+
+namespace amalgam {
+
+/// An unranked tree automaton in letter-unique normal form.
+class TreeAutomaton {
+ public:
+  explicit TreeAutomaton(std::vector<std::string> labels)
+      : labels_(std::move(labels)) {}
+
+  /// Adds a state reading `label`; flags: root-allowed, leaf-allowed,
+  /// rightmost-child-allowed. Returns the state id.
+  int AddState(int label, bool root = false, bool leaf = false,
+               bool rightmost = false);
+  /// Declares that a node in state `parent` may have a *leftmost* child in
+  /// state `child`.
+  void AddFirstChild(int parent, int child);
+  /// Declares that a node in state `left` may be directly followed by a
+  /// sibling in state `right`.
+  void AddNextSibling(int left, int right);
+
+  int num_states() const { return static_cast<int>(label_of_.size()); }
+  int num_labels() const { return static_cast<int>(labels_.size()); }
+  const std::vector<std::string>& labels() const { return labels_; }
+  int label_of(int q) const { return label_of_[q]; }
+  bool is_root(int q) const { return root_[q]; }
+  bool is_leaf(int q) const { return leaf_[q]; }
+  bool is_rightmost(int q) const { return rightmost_[q]; }
+  bool first_child_ok(int parent, int child) const {
+    return first_child_[parent][child];
+  }
+  bool next_sibling_ok(int left, int right) const {
+    return next_sibling_[left][right];
+  }
+
+  /// True if `states[v]` is a valid run on `t`.
+  bool IsRun(const Tree& t, const std::vector<int>& states) const;
+  /// True if some run exists on `t`.
+  bool Accepts(const Tree& t) const;
+  /// Some run on `t`, if any (backtracking).
+  std::optional<std::vector<int>> FindRun(const Tree& t) const;
+
+  // ---- Derived analyses (memoized on first use). ----
+
+  /// q can root a complete finite subtree.
+  bool SubtreeRealizable(int q) const;
+  /// q appears in at least one run of at least one tree (subtree-realizable
+  /// and reachable from a root state through realizable contexts).
+  bool Productive(int q) const;
+  /// `child` can appear somewhere in the children word of a `parent` node,
+  /// in some run (all siblings subtree-realizable, word well-formed).
+  bool ChildOk(int parent, int child) const;
+  /// Descendant components: SCCs of the ChildOk relation restricted to
+  /// productive states, topologically numbered (parents' components <=
+  /// descendants'). Unproductive states get component -1.
+  const std::vector<int>& DescendantComponents() const;
+  int NumDescendantComponents() const;
+  /// True if the descendant component `c` is branching: some run has a node
+  /// whose children include two states of component c (with the node's own
+  /// state in c — the paper's definition quantifies over nodes with state
+  /// in the component).
+  bool IsBranching(int c) const;
+
+  /// A minimal complete subtree rooted in state q (for witness completion);
+  /// nullopt if not subtree-realizable. Returns the tree and its run.
+  std::optional<std::pair<Tree, std::vector<int>>> MinimalSubtree(
+      int q) const;
+
+ private:
+  void EnsureAnalyses() const;
+
+  std::vector<std::string> labels_;
+  std::vector<int> label_of_;
+  std::vector<bool> root_, leaf_, rightmost_;
+  std::vector<std::vector<bool>> first_child_;
+  std::vector<std::vector<bool>> next_sibling_;
+
+  // Memoized analyses.
+  mutable bool analyzed_ = false;
+  mutable std::vector<bool> subtree_realizable_;
+  mutable std::vector<bool> productive_;
+  mutable std::vector<std::vector<bool>> child_ok_;
+  mutable std::vector<int> components_;
+  mutable int num_components_ = 0;
+  mutable std::vector<bool> branching_;
+};
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_TREES_AUTOMATON_H_

@@ -1,0 +1,576 @@
+#include "trees/pattern.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace amalgam {
+
+int TreePattern::AddNode(int parent_id, int state_id, bool component_maximal) {
+  int id = size();
+  parent.push_back(parent_id);
+  children.emplace_back();
+  state.push_back(state_id);
+  cmax.push_back(component_maximal);
+  if (parent_id >= 0) children[parent_id].push_back(id);
+  return id;
+}
+
+bool TreePattern::AncestorOrSelf(int a, int b) const {
+  for (int v = b; v >= 0; v = parent[v]) {
+    if (v == a) return true;
+  }
+  return false;
+}
+
+int TreePattern::Meet(int a, int b) const {
+  std::set<int> ancestors;
+  for (int v = a; v >= 0; v = parent[v]) ancestors.insert(v);
+  for (int v = b; v >= 0; v = parent[v]) {
+    if (ancestors.contains(v)) return v;
+  }
+  return -1;
+}
+
+std::vector<int> TreePattern::PreorderPositions() const {
+  std::vector<int> pos(size(), -1);
+  int next = 0;
+  std::function<void(int)> visit = [&](int v) {
+    pos[v] = next++;
+    for (int c : children[v]) visit(c);
+  };
+  if (size() > 0) visit(0);
+  return pos;
+}
+
+TreePatternOracle::TreePatternOracle(const TreeAutomaton* automaton)
+    : automaton_(automaton) {}
+
+int TreePatternOracle::IntrinsicAncestormost(const TreePattern& p,
+                                             int component, int node) const {
+  const auto& comp = automaton_->DescendantComponents();
+  int best = node;
+  bool found = false;
+  for (int v = node; v >= 0; v = p.parent[v]) {
+    if (comp[p.state[v]] == component) {
+      best = v;
+      found = true;
+    }
+  }
+  return found ? best : node;
+}
+
+int TreePatternOracle::IntrinsicDescendantmost(const TreePattern& p,
+                                               int component,
+                                               int node) const {
+  const auto& comp = automaton_->DescendantComponents();
+  if (comp[p.state[node]] != component || automaton_->IsBranching(component)) {
+    return node;
+  }
+  // Follow the (unique, for members) all-component pattern chain downward.
+  int current = node;
+  while (true) {
+    int next = -1;
+    for (int c : p.children[current]) {
+      if (comp[p.state[c]] == component) {
+        next = c;
+        break;  // leftmost; members have at most one
+      }
+    }
+    if (next < 0) return current;
+    current = next;
+  }
+}
+
+int TreePatternOracle::IntrinsicLeftmost(const TreePattern& p, int state,
+                                         int node) const {
+  if (!p.cmax[node]) return node;
+  for (int c : p.children[node]) {
+    if (p.state[c] == state) return c;
+  }
+  return node;
+}
+
+int TreePatternOracle::IntrinsicRightmost(const TreePattern& p, int state,
+                                          int node) const {
+  if (!p.cmax[node]) return node;
+  for (auto it = p.children[node].rbegin(); it != p.children[node].rend();
+       ++it) {
+    if (p.state[*it] == state) return *it;
+  }
+  return node;
+}
+
+// Children-word search. `tops` lists the required child states in order;
+// returns (optionally) the realized word as (state, top_index-or-minus-1).
+bool TreePatternOracle::WordRealizable(
+    int parent_state, bool parent_cmax, bool need_own_comp,
+    const std::vector<int>& tops,
+    std::vector<std::vector<int>>* word_out) const {
+  const TreeAutomaton& aut = *automaton_;
+  const int n = aut.num_states();
+  const auto& comp = aut.DescendantComponents();
+  const int own = comp[parent_state];
+  const int t = static_cast<int>(tops.size());
+
+  // Filler admissibility by region (number of tops already placed).
+  auto filler_ok = [&](int q, int placed) -> bool {
+    if (!parent_cmax) return true;
+    bool before = false, after = false;
+    for (int i = 0; i < placed; ++i) before |= (tops[i] == q);
+    for (int i = placed; i < t; ++i) after |= (tops[i] == q);
+    return before && after;
+  };
+
+  // BFS over (state, placed, have_own) with parent tracking.
+  struct Key {
+    int state, placed, have;
+    bool operator<(const Key& o) const {
+      return std::tie(state, placed, have) <
+             std::tie(o.state, o.placed, o.have);
+    }
+  };
+  struct From {
+    Key prev;
+    bool is_top;
+    bool is_start;
+  };
+  std::map<Key, From> visited;
+  std::queue<Key> queue;
+
+  auto try_push = [&](int c, int placed, bool have, const Key* prev,
+                      bool is_top) {
+    if (!aut.SubtreeRealizable(c) || !aut.Productive(c)) return;
+    Key key{c, placed, have ? 1 : 0};
+    if (visited.contains(key)) return;
+    visited[key] = From{prev ? *prev : Key{-1, -1, -1}, is_top,
+                        prev == nullptr};
+    queue.push(key);
+  };
+
+  auto expand_from = [&](int c, int placed, const Key* prev) {
+    // Entering child state c at region `placed`: it is either the next top
+    // or a filler.
+    bool have_prev = prev != nullptr && prev->have != 0;
+    if (placed < t && c == tops[placed]) {
+      try_push(c, placed + 1, have_prev || comp[c] == own, prev, true);
+    }
+    if (filler_ok(c, placed)) {
+      try_push(c, placed, have_prev || comp[c] == own, prev, false);
+    }
+  };
+
+  for (int c = 0; c < n; ++c) {
+    if (aut.first_child_ok(parent_state, c)) expand_from(c, 0, nullptr);
+  }
+  std::optional<Key> accept;
+  while (!queue.empty() && !accept.has_value()) {
+    Key key = queue.front();
+    queue.pop();
+    if (key.placed == t && aut.is_rightmost(key.state) &&
+        (!need_own_comp || key.have)) {
+      accept = key;
+      break;
+    }
+    for (int d = 0; d < n; ++d) {
+      if (!aut.next_sibling_ok(key.state, d)) continue;
+      expand_from(d, key.placed, &key);
+    }
+  }
+  if (!accept.has_value()) return false;
+  if (word_out != nullptr) {
+    std::vector<std::vector<int>> word;
+    Key k = *accept;
+    while (true) {
+      const From& from = visited.at(k);
+      word.push_back({k.state, from.is_top ? k.placed - 1 : -1});
+      if (from.is_start) break;
+      k = from.prev;
+    }
+    std::reverse(word.begin(), word.end());
+    *word_out = std::move(word);
+  }
+  return true;
+}
+
+// Per-node realizability: choose a mode (direct / deep-with-entry-state)
+// for each pattern child and a children word embedding the resulting tops.
+// `chosen_tops` (if non-null) receives the chosen top state per pattern
+// child.
+bool TreePatternOracle::NodeRealizable(const TreePattern& p, int x,
+                                       std::vector<int>* chosen_tops) const {
+  const TreeAutomaton& aut = *automaton_;
+  const auto& comp = aut.DescendantComponents();
+  const int qx = p.state[x];
+  const int own = comp[qx];
+  const bool linear = !aut.IsBranching(own);
+  const auto& kids = p.children[x];
+
+  if (kids.empty()) {
+    if (p.cmax[x]) return aut.is_leaf(qx);
+    // Hidden own-component child required; linear components would drag
+    // the chain bottom into the pattern, so only branching ones qualify.
+    if (linear) return false;
+    return WordRealizable(qx, false, /*need_own_comp=*/true, {}, nullptr);
+  }
+
+  // Deep feasibility: an entry state c with ChildOk(qx, c), comp(c) == own,
+  // and some own-component state that can parent the kid's state.
+  auto deep_entries = [&](int kid_state) {
+    std::vector<int> entries;
+    if (linear && comp[kid_state] != own) return entries;  // chain bottom
+    bool exit_ok = false;
+    for (int c = 0; c < aut.num_states(); ++c) {
+      if (comp[c] == own && aut.ChildOk(c, kid_state)) exit_ok = true;
+    }
+    if (!exit_ok) return entries;
+    for (int c = 0; c < aut.num_states(); ++c) {
+      if (comp[c] == own && aut.ChildOk(qx, c)) entries.push_back(c);
+    }
+    return entries;
+  };
+
+  std::vector<int> tops(kids.size());
+  std::vector<int> entry(kids.size(), -1);
+  std::function<bool(std::size_t)> choose = [&](std::size_t i) -> bool {
+    if (i == kids.size()) {
+      int gamma_starts = 0;
+      for (std::size_t j = 0; j < kids.size(); ++j) {
+        if (comp[tops[j]] == own) ++gamma_starts;
+      }
+      if (p.cmax[x] && gamma_starts > 0) return false;
+      if (!p.cmax[x] && linear && gamma_starts != 1) return false;
+      const bool need_own = !p.cmax[x] && gamma_starts == 0;
+      if (!WordRealizable(qx, p.cmax[x], need_own, tops, nullptr)) {
+        return false;
+      }
+      if (chosen_tops != nullptr) *chosen_tops = tops;
+      return true;
+    }
+    const int y = kids[i];
+    // Direct mode.
+    if (!(p.cmax[x] && comp[p.state[y]] == own)) {
+      tops[i] = p.state[y];
+      entry[i] = -1;
+      if (choose(i + 1)) return true;
+    }
+    // Deep modes.
+    if (!p.cmax[x]) {
+      for (int c : deep_entries(p.state[y])) {
+        tops[i] = c;
+        entry[i] = c;
+        if (choose(i + 1)) return true;
+      }
+    }
+    return false;
+  };
+  return choose(0);
+}
+
+bool TreePatternOracle::PatternInClass(const TreePattern& p) const {
+  const TreeAutomaton& aut = *automaton_;
+  if (p.size() == 0) return true;
+  for (int q : p.state) {
+    if (q < 0 || q >= aut.num_states() || !aut.Productive(q)) return false;
+  }
+  if (!aut.is_root(p.state[0])) return false;
+  const auto& comp = aut.DescendantComponents();
+  for (int x = 0; x < p.size(); ++x) {
+    // Linear components allow at most one own-component pattern child
+    // branch below an own-component node (checked by NodeRealizable via
+    // gamma_starts, but two *direct* own-comp kids must also be rejected
+    // there; additionally two own-comp children anywhere break linearity):
+    if (!aut.IsBranching(comp[p.state[x]])) {
+      int own_branches = 0;
+      for (int c : p.children[x]) {
+        if (comp[p.state[c]] == comp[p.state[x]]) ++own_branches;
+      }
+      if (own_branches > 1) return false;
+    }
+    if (!NodeRealizable(p, x, nullptr)) return false;
+  }
+  return true;
+}
+
+std::optional<TreePatternOracle::Completion> TreePatternOracle::Complete(
+    const TreePattern& p) const {
+  if (!PatternInClass(p) || p.size() == 0) return std::nullopt;
+  const TreeAutomaton& aut = *automaton_;
+  const auto& comp = aut.DescendantComponents();
+  Completion result;
+  result.pattern_node.assign(p.size(), -1);
+
+  // Builds the subtree for pattern node x; returns the tree node.
+  std::function<int(int, int)> build_pattern_node = [&](int x,
+                                                        int tree_parent) {
+    int node = result.tree.AddNode(tree_parent, aut.label_of(p.state[x]));
+    result.run.resize(result.tree.size());
+    result.run[node] = p.state[x];
+    result.pattern_node[x] = node;
+
+    const auto& kids = p.children[x];
+    if (kids.empty()) {
+      if (!p.cmax[x]) {
+        // Hidden own-component child (branching): realize a word with one.
+        std::vector<std::vector<int>> word;
+        bool ok = WordRealizable(p.state[x], false, true, {}, &word);
+        assert(ok);
+        (void)ok;
+        for (auto& entry : word) {
+          auto sub = aut.MinimalSubtree(entry[0]);
+          assert(sub.has_value());
+          // Graft the minimal subtree.
+          std::function<int(const Tree&, const std::vector<int>&, int, int)>
+              graft = [&](const Tree& st, const std::vector<int>& srun,
+                          int v, int parent_node) -> int {
+            int nn = result.tree.AddNode(parent_node, st.label[v]);
+            result.run.resize(result.tree.size());
+            result.run[nn] = srun[v];
+            for (int c : st.children[v]) graft(st, srun, c, nn);
+            return nn;
+          };
+          graft(sub->first, sub->second, 0, node);
+        }
+      }
+      return node;
+    }
+
+    std::vector<int> tops;
+    bool ok = NodeRealizable(p, x, &tops);
+    assert(ok);
+    (void)ok;
+    int gamma_starts = 0;
+    for (int tstate : tops) {
+      if (comp[tstate] == comp[p.state[x]]) ++gamma_starts;
+    }
+    const bool need_own = !p.cmax[x] && gamma_starts == 0;
+    std::vector<std::vector<int>> word;
+    ok = WordRealizable(p.state[x], p.cmax[x], need_own, tops, &word);
+    assert(ok);
+
+    auto graft_minimal = [&](int state, int parent_node) {
+      auto sub = aut.MinimalSubtree(state);
+      assert(sub.has_value());
+      std::function<int(int, int)> graft = [&](int v, int parent_n) -> int {
+        int nn = result.tree.AddNode(parent_n, sub->first.label[v]);
+        result.run.resize(result.tree.size());
+        result.run[nn] = sub->second[v];
+        for (int c : sub->first.children[v]) graft(c, nn);
+        return nn;
+      };
+      graft(0, parent_node);
+    };
+
+    for (auto& entry : word) {
+      const int cstate = entry[0];
+      const int top_index = entry[1];
+      if (top_index < 0) {
+        graft_minimal(cstate, node);
+        continue;
+      }
+      const int y = kids[top_index];
+      if (cstate == p.state[y] && comp[cstate] != comp[p.state[x]]) {
+        // Direct child. (A deep entry state could coincide with the kid's
+        // state only within the parent's component; direct tops outside it
+        // are unambiguous. Within the component both modes realize the
+        // same pattern, so preferring direct is safe.)
+        build_pattern_node(y, node);
+        continue;
+      }
+      if (cstate == p.state[y]) {
+        // Own-component direct kid.
+        build_pattern_node(y, node);
+        continue;
+      }
+      // Deep path: descend from the entry state through the parent's
+      // component to a state that can parent the kid.
+      const int own = comp[p.state[x]];
+      // BFS over own-component states from cstate to one with
+      // ChildOk(state, p.state[y]).
+      std::vector<int> prev(aut.num_states(), -2);
+      std::queue<int> bfs;
+      prev[cstate] = -1;
+      bfs.push(cstate);
+      int exit_state = -1;
+      while (!bfs.empty() && exit_state < 0) {
+        int s = bfs.front();
+        bfs.pop();
+        if (aut.ChildOk(s, p.state[y])) {
+          exit_state = s;
+          break;
+        }
+        for (int d = 0; d < aut.num_states(); ++d) {
+          if (comp[d] == own && aut.ChildOk(s, d) && prev[d] == -2) {
+            prev[d] = s;
+            bfs.push(d);
+          }
+        }
+      }
+      assert(exit_state >= 0);
+      std::vector<int> chain;
+      for (int s = exit_state; s != -1; s = prev[s]) chain.push_back(s);
+      std::reverse(chain.begin(), chain.end());
+      // Realize the chain: each chain node hosts the next element as one of
+      // its children (top), fillers minimal.
+      int current_parent = node;
+      for (std::size_t ci = 0; ci < chain.size(); ++ci) {
+        if (ci == 0) {
+          // The entry is an element of x's word (this entry); create it.
+          int nn = result.tree.AddNode(current_parent,
+                                       aut.label_of(chain[0]));
+          result.run.resize(result.tree.size());
+          result.run[nn] = chain[0];
+          current_parent = nn;
+        } else {
+          // chain[ci] is a child of chain[ci-1]: realize a word of
+          // chain[ci-1] containing chain[ci].
+          std::vector<std::vector<int>> cword;
+          bool cok = WordRealizable(chain[ci - 1], false, false,
+                                    {chain[ci]}, &cword);
+          assert(cok);
+          (void)cok;
+          int next_parent = -1;
+          for (auto& centry : cword) {
+            if (centry[1] == 0) {
+              int nn = result.tree.AddNode(current_parent,
+                                           aut.label_of(centry[0]));
+              result.run.resize(result.tree.size());
+              result.run[nn] = centry[0];
+              next_parent = nn;
+            } else {
+              graft_minimal(centry[0], current_parent);
+            }
+          }
+          current_parent = next_parent;
+        }
+      }
+      // Finally the kid under the last chain state.
+      std::vector<std::vector<int>> kword;
+      bool kok = WordRealizable(chain.back(), false, false, {p.state[y]},
+                                &kword);
+      assert(kok);
+      (void)kok;
+      for (auto& kentry : kword) {
+        if (kentry[1] == 0) {
+          build_pattern_node(y, current_parent);
+        } else {
+          graft_minimal(kentry[0], current_parent);
+        }
+      }
+    }
+    return node;
+  };
+
+  build_pattern_node(0, -1);
+  assert(automaton_->IsRun(result.tree, result.run));
+  return result;
+}
+
+std::vector<int> TreePatternOracle::PointerClosure(
+    const Tree& t, const std::vector<int>& run,
+    const std::vector<int>& seeds) const {
+  const TreeAutomaton& aut = *automaton_;
+  const auto& comp = aut.DescendantComponents();
+  const int nc = aut.NumDescendantComponents();
+  std::set<int> closure(seeds.begin(), seeds.end());
+  // True component-maximality per node: no child in the node's component.
+  auto real_cmax = [&](int v) {
+    for (int c : t.children[v]) {
+      if (comp[run[c]] == comp[run[v]]) return false;
+    }
+    return true;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<int> current(closure.begin(), closure.end());
+    auto add = [&](int v) {
+      if (closure.insert(v).second) changed = true;
+    };
+    for (int v : current) {
+      for (int w : current) add(t.Cca(v, w));
+      // ancestormost per component.
+      for (int g = 0; g < nc; ++g) {
+        int best = -1;
+        for (int u = v; u >= 0; u = t.parent[u]) {
+          if (comp[run[u]] == g) best = u;
+        }
+        if (best >= 0) add(best);
+      }
+      // descendantmost for the node's own linear component.
+      if (!aut.IsBranching(comp[run[v]])) {
+        int cur = v;
+        while (true) {
+          int next = -1;
+          for (int c : t.children[cur]) {
+            if (comp[run[c]] == comp[run[cur]]) {
+              next = c;
+              break;
+            }
+          }
+          if (next < 0) break;
+          cur = next;
+        }
+        add(cur);
+      }
+      // leftmost_q / rightmost_q for component-maximal nodes.
+      if (real_cmax(v)) {
+        for (int q = 0; q < aut.num_states(); ++q) {
+          int first = -1, last = -1;
+          for (int c : t.children[v]) {
+            if (run[c] == q) {
+              if (first < 0) first = c;
+              last = c;
+            }
+          }
+          if (first >= 0) {
+            add(first);
+            add(last);
+          }
+        }
+      }
+    }
+  }
+  return std::vector<int>(closure.begin(), closure.end());
+}
+
+std::pair<TreePattern, std::vector<int>> TreePatternOracle::ExtractClosedPattern(
+    const Tree& t, const std::vector<int>& run,
+    const std::vector<int>& seeds) const {
+  const TreeAutomaton& aut = *automaton_;
+  const auto& comp = aut.DescendantComponents();
+  std::vector<int> nodes = PointerClosure(t, run, seeds);
+  // Order by preorder so parents precede children and siblings are in
+  // document order.
+  auto pos = t.PreorderPositions();
+  std::sort(nodes.begin(), nodes.end(),
+            [&](int a, int b) { return pos[a] < pos[b]; });
+  std::map<int, int> id_of;
+  TreePattern p;
+  std::vector<int> origin;
+  for (int v : nodes) {
+    // Closest ancestor within the set.
+    int parent_id = -1;
+    for (int u = t.parent[v]; u >= 0; u = t.parent[u]) {
+      auto it = id_of.find(u);
+      if (it != id_of.end()) {
+        parent_id = it->second;
+        break;
+      }
+    }
+    bool is_cmax = true;
+    for (int c : t.children[v]) {
+      if (comp[run[c]] == comp[run[v]]) is_cmax = false;
+    }
+    int id = p.AddNode(parent_id, run[v], is_cmax);
+    id_of[v] = id;
+    origin.push_back(v);
+  }
+  (void)aut;
+  return {std::move(p), std::move(origin)};
+}
+
+}  // namespace amalgam

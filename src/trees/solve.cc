@@ -1,0 +1,46 @@
+#include "trees/solve.h"
+
+#include <stdexcept>
+
+namespace amalgam {
+
+TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
+                                   const TreeAutomaton& automaton,
+                                   int witness_size_cap,
+                                   int extra_pattern_cap) {
+  if (system.num_registers() < 1) {
+    throw std::invalid_argument(
+        "tree emptiness requires at least one register");
+  }
+  TreeRunClass cls(&automaton, extra_pattern_cap);
+  SolveOptions options;
+  options.build_witness = false;  // no generic amalgamation for trees
+  SolveResult generic = SolveEmptiness(system, cls, options);
+  TreeSolveResult result;
+  result.nonempty = generic.nonempty;
+  result.stats = generic.stats;
+  if (result.nonempty && witness_size_cap > 0) {
+    result.witness = BruteForceTreeSearch(system, automaton, witness_size_cap);
+  }
+  return result;
+}
+
+std::optional<TreeWitness> BruteForceTreeSearch(const DdsSystem& system,
+                                                const TreeAutomaton& automaton,
+                                                int max_size) {
+  std::optional<TreeWitness> found;
+  for (int size = 1; size <= max_size && !found.has_value(); ++size) {
+    ForEachTree(size, automaton.num_labels(), [&](const Tree& t) {
+      if (found.has_value()) return;
+      auto run = automaton.FindRun(t);
+      if (!run.has_value()) return;
+      Structure db = TreedbOf(t, system.schema_ref());
+      auto system_run = FindAcceptingRun(system, db);
+      if (!system_run.has_value()) return;
+      found = TreeWitness{t, std::move(*run), std::move(*system_run)};
+    });
+  }
+  return found;
+}
+
+}  // namespace amalgam

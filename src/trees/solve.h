@@ -1,0 +1,47 @@
+// Theorem 3 front door: emptiness of database-driven systems over the
+// trees of a regular tree language, plus the brute-force reference and
+// witness search used by tests and examples.
+#ifndef AMALGAM_TREES_SOLVE_H_
+#define AMALGAM_TREES_SOLVE_H_
+
+#include <optional>
+
+#include "solver/emptiness.h"
+#include "trees/run_class.h"
+
+namespace amalgam {
+
+/// A concrete Theorem 3 witness: a tree of the language, a run on it, and
+/// an accepting system run driven by Treedb(tree).
+struct TreeWitness {
+  Tree tree;
+  std::vector<int> automaton_run;
+  ConcreteRun system_run;
+};
+
+struct TreeSolveResult {
+  bool nonempty = false;
+  /// Produced by a bounded concrete search after a nonempty verdict (the
+  /// tree class does not implement generic amalgamation); may be nullopt
+  /// for nonempty instances whose smallest witness exceeds the search cap.
+  std::optional<TreeWitness> witness;
+  SolveStats stats;
+};
+
+/// Decides: is there a tree t accepted by `automaton` such that `system`
+/// (over the automaton's TreeSchema) has an accepting run driven by
+/// Treedb(t)? `witness_size_cap` bounds the post-hoc concrete witness
+/// search (0 disables it).
+TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
+                                   const TreeAutomaton& automaton,
+                                   int witness_size_cap = 6,
+                                   int extra_pattern_cap = 4);
+
+/// Brute force: tries every tree with up to `max_size` nodes.
+std::optional<TreeWitness> BruteForceTreeSearch(const DdsSystem& system,
+                                                const TreeAutomaton& automaton,
+                                                int max_size);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_TREES_SOLVE_H_

@@ -1,0 +1,147 @@
+#include "trees/tree.h"
+
+#include <cassert>
+#include <functional>
+
+namespace amalgam {
+
+int Tree::AddNode(int parent_id, int label_id) {
+  int id = size();
+  parent.push_back(parent_id);
+  children.emplace_back();
+  label.push_back(label_id);
+  if (parent_id >= 0) {
+    children[parent_id].push_back(id);
+  } else {
+    assert(id == 0);
+  }
+  return id;
+}
+
+bool Tree::AncestorOrSelf(int a, int b) const {
+  for (int v = b; v >= 0; v = parent[v]) {
+    if (v == a) return true;
+  }
+  return false;
+}
+
+int Tree::depth(int v) const {
+  int d = 0;
+  while (parent[v] >= 0) {
+    v = parent[v];
+    ++d;
+  }
+  return d;
+}
+
+int Tree::Cca(int a, int b) const {
+  int da = depth(a), db = depth(b);
+  while (da > db) {
+    a = parent[a];
+    --da;
+  }
+  while (db > da) {
+    b = parent[b];
+    --db;
+  }
+  while (a != b) {
+    a = parent[a];
+    b = parent[b];
+  }
+  return a;
+}
+
+std::vector<int> Tree::PreorderPositions() const {
+  std::vector<int> pos(size(), -1);
+  int next = 0;
+  std::function<void(int)> visit = [&](int v) {
+    pos[v] = next++;
+    for (int c : children[v]) visit(c);
+  };
+  if (size() > 0) visit(0);
+  return pos;
+}
+
+SchemaRef MakeTreeSchema(const std::vector<std::string>& labels) {
+  Schema s;
+  for (const std::string& a : labels) s.AddRelation(a, 1);
+  s.AddRelation("desc", 2);
+  s.AddRelation("doc", 2);
+  s.AddFunction("cca", 2);
+  return MakeSchema(std::move(s));
+}
+
+Structure TreedbOf(const Tree& t, const SchemaRef& schema) {
+  const int desc = schema->RelationId("desc");
+  const int doc = schema->RelationId("doc");
+  const int cca = schema->FunctionId("cca");
+  assert(desc >= 0 && doc >= 0 && cca >= 0);
+  Structure result(schema, t.size());
+  auto pos = t.PreorderPositions();
+  for (int v = 0; v < t.size(); ++v) {
+    result.SetHolds1(t.label[v], static_cast<Elem>(v));
+    for (int w = 0; w < t.size(); ++w) {
+      if (t.AncestorOrSelf(v, w)) {
+        result.SetHolds2(desc, static_cast<Elem>(v), static_cast<Elem>(w));
+      }
+      if (pos[v] < pos[w]) {
+        result.SetHolds2(doc, static_cast<Elem>(v), static_cast<Elem>(w));
+      }
+      result.SetFunction2(cca, static_cast<Elem>(v), static_cast<Elem>(w),
+                          static_cast<Elem>(t.Cca(v, w)));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Enumerates all tree shapes on `size` nodes by choosing, for node i >= 1,
+// a parent among nodes 0..i-1 (this enumerates each ordered tree exactly
+// once: children are appended left to right in node-id order, and every
+// ordered tree has such a canonical numbering — its preorder... note:
+// parent[i] < i numbering enumerates each ordered rooted tree with labeled
+// positions; shapes repeat across non-preorder numberings, which is
+// acceptable for brute-force references and deduplicated by callers that
+// need uniqueness).
+void ForEachShape(int size, const std::function<void(const Tree&)>& cb) {
+  Tree t;
+  t.AddNode(-1, 0);
+  std::function<void(int)> rec = [&](int next) {
+    if (next == size) {
+      cb(t);
+      return;
+    }
+    for (int p = 0; p < next; ++p) {
+      t.AddNode(p, 0);
+      rec(next + 1);
+      t.parent.pop_back();
+      t.children.pop_back();
+      t.label.pop_back();
+      t.children[p].pop_back();
+    }
+  };
+  if (size >= 1) rec(1);
+}
+
+}  // namespace
+
+void ForEachTree(int size, int num_labels,
+                 const std::function<void(const Tree&)>& cb) {
+  ForEachShape(size, [&](const Tree& shape) {
+    Tree t = shape;
+    std::function<void(int)> rec = [&](int v) {
+      if (v == t.size()) {
+        cb(t);
+        return;
+      }
+      for (int a = 0; a < num_labels; ++a) {
+        t.label[v] = a;
+        rec(v + 1);
+      }
+    };
+    rec(0);
+  });
+}
+
+}  // namespace amalgam

@@ -1,0 +1,56 @@
+// Unranked, ordered, labeled trees and their databases Treedb(t) over
+// TreeSchema(A) (paper §3.1): unary label predicates, descendant order,
+// document order, and the closest-common-ancestor function.
+#ifndef AMALGAM_TREES_TREE_H_
+#define AMALGAM_TREES_TREE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/structure.h"
+
+namespace amalgam {
+
+/// An unranked ordered tree. Node 0 is the root; children lists give the
+/// sibling order.
+struct Tree {
+  std::vector<int> parent;                 // parent[0] == -1
+  std::vector<std::vector<int>> children;  // in sibling order
+  std::vector<int> label;                  // letter id per node
+
+  int size() const { return static_cast<int>(parent.size()); }
+
+  /// Adds a node with the given parent (-1 only for the first node) and
+  /// label; returns its id. Appended as the rightmost child.
+  int AddNode(int parent_id, int label_id);
+
+  /// True if a is an ancestor of b or a == b.
+  bool AncestorOrSelf(int a, int b) const;
+  /// Closest common ancestor.
+  int Cca(int a, int b) const;
+  /// Document order: preorder positions (ancestors before descendants,
+  /// left siblings' subtrees before right siblings').
+  std::vector<int> PreorderPositions() const;
+  int depth(int v) const;
+};
+
+/// TreeSchema(A): label predicates (ids 0..|A|-1), descendant "desc"
+/// (reflexive, x desc y = x is an ancestor-or-self of y... see note),
+/// document order "doc" (strict), and the binary cca function "cca".
+///
+/// Convention: desc(x, y) holds iff x is an ancestor of y or x == y — the
+/// paper's x ⊑ y ("x v y iff x = x ∧ y" where ∧ is cca).
+SchemaRef MakeTreeSchema(const std::vector<std::string>& labels);
+
+/// The database of a tree over a schema from MakeTreeSchema.
+Structure TreedbOf(const Tree& t, const SchemaRef& schema);
+
+/// Enumerates all trees with exactly `size` nodes over `num_labels` labels
+/// (all shapes x all labelings). Intended for brute-force references.
+void ForEachTree(int size, int num_labels,
+                 const std::function<void(const Tree&)>& cb);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_TREES_TREE_H_

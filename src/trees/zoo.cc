@@ -1,0 +1,82 @@
+#include "trees/zoo.h"
+
+#include "trees/run_class.h"
+
+namespace amalgam {
+
+TreeAutomaton TaAllTrees() {
+  TreeAutomaton ta({"a", "b"});
+  int qa = ta.AddState(0, true, true, true);
+  int qb = ta.AddState(1, true, true, true);
+  for (int p : {qa, qb}) {
+    for (int c : {qa, qb}) {
+      ta.AddFirstChild(p, c);
+      ta.AddNextSibling(p, c);
+    }
+  }
+  return ta;
+}
+
+TreeAutomaton TaChains() {
+  TreeAutomaton ta({"a"});
+  int q = ta.AddState(0, true, true, true);
+  ta.AddFirstChild(q, q);
+  return ta;
+}
+
+TreeAutomaton TaTwoLevel() {
+  TreeAutomaton ta({"r", "a"});
+  int qr = ta.AddState(0, /*root=*/true, /*leaf=*/false, /*rightmost=*/false);
+  int qa = ta.AddState(1, /*root=*/false, /*leaf=*/true, /*rightmost=*/true);
+  ta.AddFirstChild(qr, qa);
+  ta.AddNextSibling(qa, qa);
+  return ta;
+}
+
+TreeAutomaton TaComb() {
+  TreeAutomaton ta({"a", "b"});
+  // Spine state: an a-node; its children word is either (spine), (leafb
+  // spine), (leafb) or empty (then it must be a leaf).
+  int spine = ta.AddState(0, /*root=*/true, /*leaf=*/true, /*rightmost=*/true);
+  int leafb =
+      ta.AddState(1, /*root=*/false, /*leaf=*/true, /*rightmost=*/true);
+  ta.AddFirstChild(spine, spine);
+  ta.AddFirstChild(spine, leafb);
+  ta.AddNextSibling(leafb, spine);
+  return ta;
+}
+
+TreeAutomaton TaAlternatingChains() {
+  TreeAutomaton ta({"a", "b"});
+  int qa = ta.AddState(0, /*root=*/true, /*leaf=*/true, /*rightmost=*/true);
+  int qb = ta.AddState(1, /*root=*/false, /*leaf=*/true, /*rightmost=*/true);
+  ta.AddFirstChild(qa, qb);
+  ta.AddFirstChild(qb, qa);
+  return ta;
+}
+
+DdsSystem DescendSystem(const TreeAutomaton& automaton, int steps) {
+  TreeRunClass cls(&automaton);
+  DdsSystem system(cls.tree_schema());
+  system.AddRegister("x");
+  int prev = system.AddState("d0", /*initial=*/true, steps == 0);
+  for (int i = 1; i <= steps; ++i) {
+    int next = system.AddState("d" + std::to_string(i), false, i == steps);
+    system.AddRule(prev, next, "desc(x_old, x_new) & x_old != x_new");
+    prev = next;
+  }
+  return system;
+}
+
+DdsSystem FindBBelowSystem(const TreeAutomaton& automaton) {
+  TreeRunClass cls(&automaton);
+  DdsSystem system(cls.tree_schema());
+  system.AddRegister("x");
+  int start = system.AddState("start", /*initial=*/true);
+  int done = system.AddState("done", false, /*accepting=*/true);
+  system.AddRule(start, done,
+                 "desc(x_old, x_new) & x_old != x_new & b(x_new)");
+  return system;
+}
+
+}  // namespace amalgam

@@ -1,0 +1,38 @@
+// Example tree automata and tree-driven systems shared by tests, examples
+// and benchmarks.
+#ifndef AMALGAM_TREES_ZOO_H_
+#define AMALGAM_TREES_ZOO_H_
+
+#include "system/dds.h"
+#include "trees/automaton.h"
+
+namespace amalgam {
+
+/// All trees over labels {a, b} (one branching component).
+TreeAutomaton TaAllTrees();
+
+/// Unary chains a-a-...-a of any length >= 1 (one linear component).
+TreeAutomaton TaChains();
+
+/// Flat two-level trees: an r-root whose children are a-leaves.
+TreeAutomaton TaTwoLevel();
+
+/// Binary-ish combs: an a-spine where each spine node has an optional
+/// b-leaf before the next spine node (two components).
+TreeAutomaton TaComb();
+
+/// Alternating chains a-b-a-b-... of any length >= 1: a two-state cyclic
+/// descendant component (still linear — one child per node).
+TreeAutomaton TaAlternatingChains();
+
+/// A system over the automaton's TreeSchema with one register that moves
+/// to a strict descendant `steps` times.
+DdsSystem DescendSystem(const TreeAutomaton& automaton, int steps);
+
+/// One register that must sit on two doc-order-incomparable... a system
+/// requiring a node with a strict descendant carrying label b.
+DdsSystem FindBBelowSystem(const TreeAutomaton& automaton);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_TREES_ZOO_H_

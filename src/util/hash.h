@@ -1,0 +1,40 @@
+// Hashing helpers shared across the library.
+#ifndef AMALGAM_UTIL_HASH_H_
+#define AMALGAM_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace amalgam {
+
+/// Combines a hash value into a running seed (boost::hash_combine recipe).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (; first != last; ++first) {
+    HashCombine(seed, std::hash<std::uint64_t>{}(
+                          static_cast<std::uint64_t>(*first)));
+  }
+  return seed;
+}
+
+/// Hash functor for std::vector of integral values; usable as the Hash
+/// template argument of unordered containers.
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end());
+  }
+};
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_UTIL_HASH_H_

@@ -1,0 +1,176 @@
+#include "words/nfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <queue>
+
+namespace amalgam {
+
+int Nfa::AddState(int letter, bool start, bool accept) {
+  assert(letter >= 0 && letter < num_letters());
+  letter_of_.push_back(letter);
+  start_.push_back(start);
+  accept_.push_back(accept);
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return num_states() - 1;
+}
+
+void Nfa::AddTransition(int from, int to) {
+  assert(from >= 0 && from < num_states());
+  assert(to >= 0 && to < num_states());
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+}
+
+bool Nfa::Accepts(const std::vector<int>& word) const {
+  if (word.empty()) return false;  // L subset of A^+ by convention
+  std::vector<bool> current(num_states(), false);
+  for (int q = 0; q < num_states(); ++q) {
+    current[q] = start_[q] && letter_of_[q] == word[0];
+  }
+  for (std::size_t i = 1; i < word.size(); ++i) {
+    std::vector<bool> next(num_states(), false);
+    for (int q = 0; q < num_states(); ++q) {
+      if (!current[q]) continue;
+      for (int r : succ_[q]) {
+        if (letter_of_[r] == word[i]) next[r] = true;
+      }
+    }
+    current = std::move(next);
+  }
+  for (int q = 0; q < num_states(); ++q) {
+    if (current[q] && accept_[q]) return true;
+  }
+  return false;
+}
+
+Nfa Nfa::Trimmed() const {
+  const int n = num_states();
+  std::vector<bool> reachable(n, false), coreachable(n, false);
+  std::queue<int> queue;
+  for (int q = 0; q < n; ++q) {
+    if (start_[q]) {
+      reachable[q] = true;
+      queue.push(q);
+    }
+  }
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop();
+    for (int r : succ_[q]) {
+      if (!reachable[r]) {
+        reachable[r] = true;
+        queue.push(r);
+      }
+    }
+  }
+  for (int q = 0; q < n; ++q) {
+    if (accept_[q]) {
+      coreachable[q] = true;
+      queue.push(q);
+    }
+  }
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop();
+    for (int r : pred_[q]) {
+      if (!coreachable[r]) {
+        coreachable[r] = true;
+        queue.push(r);
+      }
+    }
+  }
+  std::vector<int> new_id(n, -1);
+  Nfa result(alphabet_);
+  for (int q = 0; q < n; ++q) {
+    if (reachable[q] && coreachable[q]) {
+      new_id[q] = result.AddState(letter_of_[q], start_[q], accept_[q]);
+    }
+  }
+  for (int q = 0; q < n; ++q) {
+    if (new_id[q] < 0) continue;
+    for (int r : succ_[q]) {
+      if (new_id[r] >= 0) result.AddTransition(new_id[q], new_id[r]);
+    }
+  }
+  return result;
+}
+
+std::vector<int> Nfa::Components() const {
+  // Tarjan's SCC; components numbered so that edges go from lower to equal
+  // or higher component ids (reverse topological for successors).
+  const int n = num_states();
+  std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0, next_comp = 0;
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[v] = low[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (int w : succ_[v]) {
+      if (index[w] < 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      while (true) {
+        int w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        comp[w] = next_comp;
+        if (w == v) break;
+      }
+      ++next_comp;
+    }
+  };
+  for (int v = 0; v < n; ++v) {
+    if (index[v] < 0) strongconnect(v);
+  }
+  // Tarjan emits components in reverse topological order already (a
+  // component is finished only after everything it reaches); flip so that
+  // comp(p) <= comp(q) when p reaches q.
+  for (int v = 0; v < n; ++v) comp[v] = next_comp - 1 - comp[v];
+  return comp;
+}
+
+int Nfa::NumComponents() const {
+  auto comp = Components();
+  int best = -1;
+  for (int c : comp) best = std::max(best, c);
+  return best + 1;
+}
+
+bool HasConstrainedPath(const Nfa& nfa, int from, int to,
+                        const std::vector<bool>& allowed) {
+  // First step is unrestricted (the target may be adjacent); intermediate
+  // states must be allowed.
+  std::vector<bool> visited(nfa.num_states(), false);
+  std::queue<int> queue;
+  for (int r : nfa.successors()[from]) {
+    if (r == to) return true;
+    if (allowed[r] && !visited[r]) {
+      visited[r] = true;
+      queue.push(r);
+    }
+  }
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop();
+    for (int r : nfa.successors()[q]) {
+      if (r == to) return true;
+      if (allowed[r] && !visited[r]) {
+        visited[r] = true;
+        queue.push(r);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace amalgam

@@ -1,0 +1,70 @@
+// Word automata in the paper's normal form (§5.1): every state reads a
+// unique letter; a run labels each position with the state reached *after*
+// reading it. A word is accepted iff some labeling q1..qn has q1 startable,
+// qi -> qi+1 transitions, and qn accepting.
+#ifndef AMALGAM_WORDS_NFA_H_
+#define AMALGAM_WORDS_NFA_H_
+
+#include <string>
+#include <vector>
+
+namespace amalgam {
+
+/// A nondeterministic finite automaton in letter-unique normal form.
+class Nfa {
+ public:
+  /// `alphabet` holds the letter names (indices are letter ids).
+  explicit Nfa(std::vector<std::string> alphabet)
+      : alphabet_(std::move(alphabet)) {}
+
+  /// Adds a state reading `letter`; returns its id. `start` marks states
+  /// allowed at the first position, `accept` at the last.
+  int AddState(int letter, bool start = false, bool accept = false);
+  /// Adds a transition: a position in state `from` may be followed by a
+  /// position in state `to`.
+  void AddTransition(int from, int to);
+
+  int num_states() const { return static_cast<int>(letter_of_.size()); }
+  int num_letters() const { return static_cast<int>(alphabet_.size()); }
+  const std::vector<std::string>& alphabet() const { return alphabet_; }
+  int letter_of(int q) const { return letter_of_[q]; }
+  bool is_start(int q) const { return start_[q]; }
+  bool is_accept(int q) const { return accept_[q]; }
+  const std::vector<std::vector<int>>& successors() const { return succ_; }
+  const std::vector<std::vector<int>>& predecessors() const { return pred_; }
+
+  /// True if the (nonempty) word given by letter ids is accepted.
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// Removes states that cannot appear in any accepting run (not reachable
+  /// from a start state or not co-reachable to an accepting state). Returns
+  /// the trimmed automaton; state ids are re-packed.
+  Nfa Trimmed() const;
+
+  /// Strongly connected components of the transition relation, numbered in
+  /// reverse topological order (if p can reach q then comp(p) <= comp(q)).
+  /// Non-self-reachable states form singleton components (the paper's
+  /// convention).
+  std::vector<int> Components() const;
+
+  /// Number of components (max id + 1).
+  int NumComponents() const;
+
+ private:
+  std::vector<std::string> alphabet_;
+  std::vector<int> letter_of_;
+  std::vector<bool> start_;
+  std::vector<bool> accept_;
+  std::vector<std::vector<int>> succ_;
+  std::vector<std::vector<int>> pred_;
+};
+
+/// True if there is a path from `from` of length >= 1 to `to` whose
+/// intermediate states r (excluding both endpoints) all satisfy
+/// `allowed[r]`.
+bool HasConstrainedPath(const Nfa& nfa, int from, int to,
+                        const std::vector<bool>& allowed);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_WORDS_NFA_H_

@@ -1,0 +1,46 @@
+// Theorem 10 front door: emptiness of database-driven systems over the
+// words of a regular language, with concrete word witnesses, plus the
+// brute-force reference used by differential tests.
+#ifndef AMALGAM_WORDS_SOLVE_H_
+#define AMALGAM_WORDS_SOLVE_H_
+
+#include <optional>
+#include <vector>
+
+#include "solver/emptiness.h"
+#include "words/nfa.h"
+#include "words/run_class.h"
+#include "words/worddb.h"
+
+namespace amalgam {
+
+/// A concrete Theorem 10 witness: a word of the language together with an
+/// automaton run on it and an accepting system run driven by Worddb(word).
+struct WordWitness {
+  std::vector<int> letters;
+  std::vector<int> automaton_states;
+  ConcreteRun system_run;
+};
+
+struct WordSolveResult {
+  bool nonempty = false;
+  std::optional<WordWitness> witness;
+  SolveStats stats;
+};
+
+/// Decides: is there a word w in L(nfa) such that `system` (over
+/// MakeWordSchema of the automaton's alphabet) has an accepting run driven
+/// by Worddb(w)? Requires at least one register (the paper's Lemma 11
+/// anchor argument; with zero registers the problem degenerates to graph
+/// reachability anyway).
+WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
+                                   bool build_witness = true);
+
+/// Brute-force reference: tries every word of length 1..max_len, returning
+/// the first word of the language driving an accepting run.
+std::optional<WordWitness> BruteForceWordSearch(const DdsSystem& system,
+                                                const Nfa& nfa, int max_len);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_WORDS_SOLVE_H_

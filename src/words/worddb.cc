@@ -1,0 +1,28 @@
+#include "words/worddb.h"
+
+#include <cassert>
+
+namespace amalgam {
+
+SchemaRef MakeWordSchema(const std::vector<std::string>& alphabet) {
+  Schema s;
+  for (const std::string& a : alphabet) s.AddRelation(a, 1);
+  s.AddRelation("lt", 2);
+  return MakeSchema(std::move(s));
+}
+
+Structure WorddbOf(const std::vector<int>& word, const SchemaRef& schema) {
+  const int lt = schema->RelationId("lt");
+  assert(lt >= 0);
+  Structure result(schema, word.size());
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    assert(word[i] >= 0 && word[i] < lt);  // letters precede lt in the schema
+    result.SetHolds1(word[i], static_cast<Elem>(i));
+    for (std::size_t j = i + 1; j < word.size(); ++j) {
+      result.SetHolds2(lt, static_cast<Elem>(i), static_cast<Elem>(j));
+    }
+  }
+  return result;
+}
+
+}  // namespace amalgam

@@ -1,0 +1,22 @@
+// Worddb(w) / WordSchema(A) (paper §5.1): a word as a database with unary
+// letter predicates and the position order.
+#ifndef AMALGAM_WORDS_WORDDB_H_
+#define AMALGAM_WORDS_WORDDB_H_
+
+#include <string>
+#include <vector>
+
+#include "base/structure.h"
+
+namespace amalgam {
+
+/// The schema with one unary predicate per letter plus the binary order
+/// "lt". Matches the prefix of WordRunClass::schema().
+SchemaRef MakeWordSchema(const std::vector<std::string>& alphabet);
+
+/// The database of a word (letter ids), over a schema from MakeWordSchema.
+Structure WorddbOf(const std::vector<int>& word, const SchemaRef& schema);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_WORDS_WORDDB_H_

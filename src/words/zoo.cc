@@ -1,0 +1,82 @@
+#include "words/zoo.h"
+
+#include "words/worddb.h"
+
+namespace amalgam {
+
+Nfa NfaAllAB() {
+  Nfa nfa({"a", "b"});
+  int qa = nfa.AddState(0, /*start=*/true, /*accept=*/true);
+  int qb = nfa.AddState(1, /*start=*/true, /*accept=*/true);
+  nfa.AddTransition(qa, qa);
+  nfa.AddTransition(qa, qb);
+  nfa.AddTransition(qb, qa);
+  nfa.AddTransition(qb, qb);
+  return nfa;
+}
+
+Nfa NfaAlternatingAB() {
+  Nfa nfa({"a", "b"});
+  int qa = nfa.AddState(0, /*start=*/true, /*accept=*/false);
+  int qb = nfa.AddState(1, /*start=*/false, /*accept=*/true);
+  nfa.AddTransition(qa, qb);
+  nfa.AddTransition(qb, qa);
+  return nfa;
+}
+
+Nfa NfaModCounter(int p) {
+  Nfa nfa({"a"});
+  for (int i = 0; i < p; ++i) {
+    nfa.AddState(0, /*start=*/i == 0, /*accept=*/i == p - 1);
+  }
+  for (int i = 0; i < p; ++i) nfa.AddTransition(i, (i + 1) % p);
+  return nfa;
+}
+
+Nfa NfaAPlusBPlus() {
+  Nfa nfa({"a", "b"});
+  int qa = nfa.AddState(0, /*start=*/true, /*accept=*/false);
+  int qb = nfa.AddState(1, /*start=*/false, /*accept=*/true);
+  nfa.AddTransition(qa, qa);
+  nfa.AddTransition(qa, qb);
+  nfa.AddTransition(qb, qb);
+  return nfa;
+}
+
+DdsSystem ZigZagSystem(int rounds) {
+  DdsSystem system(MakeWordSchema({"a", "b"}));
+  system.AddRegister("x");
+  int on_a = system.AddState("on_a0", /*initial=*/true);
+  system.AddRule(on_a, on_a, "x_new = x_old & a(x_old)");  // settle on an a
+  int prev = on_a;
+  for (int i = 0; i < rounds; ++i) {
+    int on_b =
+        system.AddState("on_b" + std::to_string(i), false, i + 1 == rounds);
+    system.AddRule(prev, on_b, "lt(x_old, x_new) & b(x_new)");
+    if (i + 1 < rounds) {
+      int next_a = system.AddState("on_a" + std::to_string(i + 1));
+      system.AddRule(on_b, next_a, "lt(x_old, x_new) & a(x_new)");
+      prev = next_a;
+    }
+  }
+  return system;
+}
+
+DdsSystem TwoMarkersSystem() {
+  DdsSystem system(MakeWordSchema({"a", "b"}));
+  system.AddRegister("x");
+  system.AddRegister("y");
+  int init = system.AddState("init", /*initial=*/true);
+  int step = system.AddState("step");
+  int done = system.AddState("done", false, /*accepting=*/true);
+  system.AddRule(init, step,
+                 "x_new = x_old & y_new = y_old & a(x_old) & a(y_old) & "
+                 "lt(x_old, y_old)");
+  system.AddRule(step, step,
+                 "x_new = x_old & lt(y_old, y_new) & a(y_new)");
+  system.AddRule(step, done,
+                 "x_new = x_old & y_new = y_old & lt(x_old, y_old)");
+  return system;
+}
+
+}  // namespace amalgam

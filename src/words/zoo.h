@@ -1,0 +1,38 @@
+// Example automata and word-driven systems shared by tests, examples and
+// benchmarks.
+#ifndef AMALGAM_WORDS_ZOO_H_
+#define AMALGAM_WORDS_ZOO_H_
+
+#include "system/dds.h"
+#include "words/nfa.h"
+
+namespace amalgam {
+
+/// All nonempty words over {a, b}.
+Nfa NfaAllAB();
+
+/// L = (ab)^+ : alternating words starting with a, ending with b.
+Nfa NfaAlternatingAB();
+
+/// Unary language { a^n : n ≡ 0 mod p, n > 0 }. The whole cycle is one
+/// strongly connected component (for p >= 2).
+Nfa NfaModCounter(int p);
+
+/// L = a^+ b^+ : a block of a's followed by a block of b's — two linear
+/// components.
+Nfa NfaAPlusBPlus();
+
+/// A system over MakeWordSchema({"a","b"}) with one register that starts on
+/// an 'a' position and repeatedly jumps to a strictly later 'b' position
+/// and back to a strictly later 'a' position, `rounds` times, accepting on
+/// the final 'b'.
+DdsSystem ZigZagSystem(int rounds);
+
+/// A system requiring two registers on positions with the same letter 'a',
+/// the first strictly before the second, which then swap... (guards keep it
+/// simple: x stays, y moves right onto another 'a').
+DdsSystem TwoMarkersSystem();
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_WORDS_ZOO_H_

@@ -1,0 +1,194 @@
+// Bounded-fidelity tests for the lower-bound / undecidability reductions:
+// the generated systems must simulate their source machines step for step
+// over the intended databases (checked with the concrete semantics).
+#include <gtest/gtest.h>
+
+#include "counter/machine.h"
+#include "counter/reductions.h"
+#include "system/concrete.h"
+
+namespace amalgam {
+namespace {
+
+TEST(MachineTest, Semantics) {
+  CounterMachine up = MachineCountUpDown(3);
+  int peak = 0;
+  auto steps = up.Run(100, &peak);
+  ASSERT_TRUE(steps.has_value());
+  EXPECT_EQ(peak, 3);
+  EXPECT_EQ(*steps, 3 + 3 + 1);  // 3 incs, 3 decs, 1 zero-branch
+
+  EXPECT_FALSE(MachineLoopForever().Run(1000).has_value());
+
+  CounterMachine tr = MachineTransfer(2);
+  EXPECT_TRUE(tr.Run(100).has_value());
+}
+
+TEST(Fact15Test, HaltingMachineDrivesSuccPath) {
+  CounterMachine m = MachineCountUpDown(2);
+  DdsSystem system = SuccWordSystem(m);
+  // Peak counter value 2 needs a path with 3 positions.
+  Structure path = PathDatabase(3, system.schema_ref());
+  auto run = FindAcceptingRun(system, path);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(ValidateAcceptingRun(system, path, *run));
+  // Configurations: init, post-init, then one per machine step.
+  auto machine_steps = m.Run(100);
+  ASSERT_TRUE(machine_steps.has_value());
+  EXPECT_EQ(run->size(), 2u + static_cast<std::size_t>(*machine_steps));
+}
+
+TEST(Fact15Test, PathTooShortBlocksTheSimulation) {
+  CounterMachine m = MachineCountUpDown(4);
+  DdsSystem system = SuccWordSystem(m);
+  // Peak 4 cannot fit on a 3-element path.
+  Structure path = PathDatabase(3, system.schema_ref());
+  EXPECT_FALSE(FindAcceptingRun(system, path).has_value());
+  // But fits on 5.
+  Structure longer = PathDatabase(5, system.schema_ref());
+  EXPECT_TRUE(FindAcceptingRun(system, longer).has_value());
+}
+
+TEST(Fact15Test, NonHaltingMachineNeverAccepts) {
+  DdsSystem system = SuccWordSystem(MachineLoopForever());
+  for (int n = 1; n <= 5; ++n) {
+    Structure path = PathDatabase(n, system.schema_ref());
+    EXPECT_FALSE(FindAcceptingRun(system, path).has_value()) << n;
+  }
+}
+
+TEST(Fact15Test, TwoCountersTransfer) {
+  CounterMachine m = MachineTransfer(2);
+  DdsSystem system = SuccWordSystem(m);
+  Structure path = PathDatabase(3, system.schema_ref());
+  auto run = FindAcceptingRun(system, path);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(ValidateAcceptingRun(system, path, *run));
+}
+
+TEST(Fact16Test, HaltingMachineDrivesCaterpillar) {
+  CounterMachine m = MachineCountUpDown(2);
+  DdsSystem system = SiblingTreeSystem(m);
+  Structure tree = CaterpillarDatabase(3, system.schema_ref());
+  auto run = FindAcceptingRun(system, tree);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(ValidateAcceptingRun(system, tree, *run));
+}
+
+TEST(Fact16Test, ShallowTreeBlocksDeepCounters) {
+  CounterMachine m = MachineCountUpDown(4);
+  DdsSystem system = SiblingTreeSystem(m);
+  // Height 2: counter cannot reach 4.
+  Structure shallow = CaterpillarDatabase(2, system.schema_ref());
+  EXPECT_FALSE(FindAcceptingRun(system, shallow).has_value());
+  Structure deep = CaterpillarDatabase(5, system.schema_ref());
+  EXPECT_TRUE(FindAcceptingRun(system, deep).has_value());
+}
+
+TEST(Fact16Test, NonHaltingMachineNeverAccepts) {
+  DdsSystem system = SiblingTreeSystem(MachineLoopForever());
+  for (int h = 1; h <= 3; ++h) {
+    Structure tree = CaterpillarDatabase(h, system.schema_ref());
+    EXPECT_FALSE(FindAcceptingRun(system, tree).has_value()) << h;
+  }
+}
+
+namespace {
+
+// A 2-cell TM: writes 1 on both cells, returns, accepts.
+LinearTm AcceptingTm() {
+  LinearTm tm;
+  tm.tape_len = 2;
+  int s0 = tm.AddState();
+  int s1 = tm.AddState();
+  int acc = tm.AddState();
+  tm.start = s0;
+  tm.accept = acc;
+  tm.SetTransition(s0, 0, 1, +1, s1);
+  tm.SetTransition(s1, 0, 1, -1, acc);
+  return tm;
+}
+
+// A TM that ping-pongs forever without accepting.
+LinearTm LoopingTm() {
+  LinearTm tm;
+  tm.tape_len = 2;
+  int s0 = tm.AddState();
+  int s1 = tm.AddState();
+  tm.AddState();  // accept, unreachable
+  tm.start = s0;
+  tm.accept = 2;
+  tm.SetTransition(s0, 0, 0, +1, s1);
+  tm.SetTransition(s0, 1, 1, +1, s1);
+  tm.SetTransition(s1, 0, 0, -1, s0);
+  tm.SetTransition(s1, 1, 1, -1, s0);
+  return tm;
+}
+
+}  // namespace
+
+TEST(Lemma1Test, AcceptingTmYieldsAcceptingRun) {
+  LinearTm tm = AcceptingTm();
+  ASSERT_TRUE(tm.Accepts(10));
+  DdsSystem system = LinearSpaceTmSystem(tm);
+  // Two distinguishable elements suffice (the lemma's hypothesis).
+  Structure db(system.schema_ref(), 2);
+  auto run = FindAcceptingRun(system, db);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(ValidateAcceptingRun(system, db, *run));
+  // A single element cannot represent both 0 and 1.
+  Structure tiny(system.schema_ref(), 1);
+  EXPECT_FALSE(FindAcceptingRun(system, tiny).has_value());
+}
+
+TEST(Lemma1Test, LoopingTmNeverAccepts) {
+  LinearTm tm = LoopingTm();
+  ASSERT_FALSE(tm.Accepts(100));
+  DdsSystem system = LinearSpaceTmSystem(tm);
+  for (int n = 2; n <= 3; ++n) {
+    Structure db(system.schema_ref(), n);
+    EXPECT_FALSE(FindAcceptingRun(system, db).has_value()) << n;
+  }
+}
+
+TEST(Theorem17Test, HaltingMachineDrivesChainTree) {
+  CounterMachine m = MachineCountUpDown(2);
+  DdsSystem system = DataPatternSystem(m);
+  Structure tree = ChainDataTree(3, system.schema_ref());
+  auto run = FindAcceptingRun(system, tree);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(ValidateAcceptingRun(system, tree, *run));
+}
+
+TEST(Theorem17Test, ChainTooShortBlocks) {
+  CounterMachine m = MachineCountUpDown(4);
+  DdsSystem system = DataPatternSystem(m);
+  Structure shallow = ChainDataTree(2, system.schema_ref());
+  EXPECT_FALSE(FindAcceptingRun(system, shallow).has_value());
+  Structure deep = ChainDataTree(5, system.schema_ref());
+  EXPECT_TRUE(FindAcceptingRun(system, deep).has_value());
+}
+
+TEST(Theorem17Test, UniquenessPatternsRejectCorruptedTrees) {
+  // Duplicate a-values break the injective encoding; the negated patterns
+  // in every guard must block all progress.
+  CounterMachine m = MachineCountUpDown(1);
+  DdsSystem system = DataPatternSystem(m);
+  Structure tree = ChainDataTree(2, system.schema_ref());
+  const int deq = system.schema().RelationId("deq");
+  // Make a_0 (element 1) and a_1 (element 3) share a value.
+  tree.SetHolds2(deq, 1, 3);
+  tree.SetHolds2(deq, 3, 1);
+  EXPECT_FALSE(FindAcceptingRun(system, tree).has_value());
+}
+
+TEST(Theorem17Test, NonHaltingMachineNeverAccepts) {
+  DdsSystem system = DataPatternSystem(MachineLoopForever());
+  for (int n = 1; n <= 3; ++n) {
+    Structure tree = ChainDataTree(n, system.schema_ref());
+    EXPECT_FALSE(FindAcceptingRun(system, tree).has_value()) << n;
+  }
+}
+
+}  // namespace
+}  // namespace amalgam

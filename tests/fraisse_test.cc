@@ -1,0 +1,345 @@
+// Unit tests for src/fraisse: the class interface, the generic relational
+// enumerator, HOM classes and their Fraïssé lift (Lemma 7), and the
+// data-value products (Proposition 1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/canonical.h"
+#include "fraisse/data_class.h"
+#include "fraisse/fraisse_class.h"
+#include "fraisse/hom_class.h"
+#include "fraisse/relational.h"
+#include "system/zoo.h"
+
+namespace amalgam {
+namespace {
+
+// Counts the structures produced by EnumerateGenerated and checks
+// (a) generation: every element reachable from the marks (relational:
+//     domain = marked elements), (b) membership, (c) pairwise
+// non-isomorphism as marked structures.
+int CheckEnumeration(const FraisseClass& cls, int m) {
+  int count = 0;
+  std::set<std::string> keys;
+  cls.EnumerateGenerated(m, [&](const Structure& s,
+                                std::span<const Elem> marks) {
+    ++count;
+    EXPECT_TRUE(cls.Contains(s)) << s.ToString();
+    auto generated = GeneratedSubset(s, marks);
+    EXPECT_EQ(generated.size(), s.size()) << "not generated: " << s.ToString();
+    auto canon = Canonicalize(s, marks);
+    EXPECT_TRUE(keys.insert(canon.key).second)
+        << "duplicate isomorphism class: " << s.ToString();
+  });
+  return count;
+}
+
+TEST(AllStructuresTest, CountsMatchClosedForms) {
+  // Unary-only schema: structures on d elements = 2^d label patterns.
+  Schema u;
+  u.AddRelation("p", 1);
+  AllStructuresClass cls(MakeSchema(std::move(u)));
+  // m=1: 1 partition, d=1, 2 structures.
+  EXPECT_EQ(CheckEnumeration(cls, 1), 2);
+  // m=2: partitions {both same}: d=1 -> 2; {distinct}: d=2 -> 4. Total 6.
+  EXPECT_EQ(CheckEnumeration(cls, 2), 6);
+  // m=0: just the empty structure.
+  EXPECT_EQ(CheckEnumeration(cls, 0), 1);
+}
+
+TEST(AllStructuresTest, GraphCountsMatch) {
+  AllStructuresClass cls(GraphZooSchema());
+  // m=1: d=1: 2^(1 edge-bit + 1 red-bit) = 4.
+  EXPECT_EQ(CheckEnumeration(cls, 1), 4);
+  // m=2: d=1: 4; d=2: 2^(4+2) = 64. Total 68.
+  EXPECT_EQ(CheckEnumeration(cls, 2), 68);
+}
+
+TEST(LinearOrderTest, MembershipAndEnumeration) {
+  LinearOrderClass cls;
+  // Chains are members.
+  Structure chain(cls.schema(), 3);
+  for (Elem a = 0; a < 3; ++a) {
+    for (Elem b = a + 1; b < 3; ++b) chain.SetHolds2(0, a, b);
+  }
+  EXPECT_TRUE(cls.Contains(chain));
+  // A cyclic "order" is not.
+  Structure cyc(cls.schema(), 3);
+  cyc.SetHolds2(0, 0, 1);
+  cyc.SetHolds2(0, 1, 2);
+  cyc.SetHolds2(0, 2, 0);
+  EXPECT_FALSE(cls.Contains(cyc));
+  // m=2: 1 block (d=1, 1 order) + 1 two-block partition (d=2, 2 orders) = 3.
+  EXPECT_EQ(CheckEnumeration(cls, 2), 3);
+  // m=3: partitions of 3: 1x(d=1):1 + 3x(d=2):2 + 1x(d=3):6 = 13.
+  EXPECT_EQ(CheckEnumeration(cls, 3), 13);
+}
+
+TEST(LinearOrderTest, AmalgamationCompletesToALinearOrder) {
+  LinearOrderClass cls;
+  // a: x < y; b: x < z, over common {x}. Free amalgam leaves y,z
+  // incomparable; the class completion must order them.
+  Structure a(cls.schema(), 2);
+  a.SetHolds2(0, 0, 1);
+  Structure b(cls.schema(), 2);
+  b.SetHolds2(0, 0, 1);
+  std::vector<Elem> b_to_a = {0, kNoElem};
+  auto am = cls.Amalgamate(a, b, b_to_a);
+  ASSERT_TRUE(am.has_value());
+  EXPECT_TRUE(cls.Contains(am->structure));
+  // Both embeddings preserve and reflect <.
+  EXPECT_TRUE(am->structure.Holds2(0, am->embed_a[0], am->embed_a[1]));
+  EXPECT_TRUE(am->structure.Holds2(0, am->embed_b[0], am->embed_b[1]));
+}
+
+TEST(LinearOrderTest, InconsistentInstanceRejected) {
+  LinearOrderClass cls;
+  // a: x < y; b: y < x over common {x, y} — impossible (not a legal
+  // amalgamation instance; the operator reports nullopt).
+  Structure a(cls.schema(), 2);
+  a.SetHolds2(0, 0, 1);
+  Structure b(cls.schema(), 2);
+  b.SetHolds2(0, 1, 0);
+  std::vector<Elem> b_to_a = {0, 1};
+  EXPECT_FALSE(cls.Amalgamate(a, b, b_to_a).has_value());
+}
+
+TEST(EquivalenceTest, MembershipEnumerationAmalgamation) {
+  EquivalenceClass cls;
+  Structure eq(cls.schema(), 3);
+  for (Elem i = 0; i < 3; ++i) eq.SetHolds2(0, i, i);
+  eq.SetHolds2(0, 0, 1);
+  eq.SetHolds2(0, 1, 0);
+  EXPECT_TRUE(cls.Contains(eq));
+  eq.SetHolds2(0, 1, 2);  // breaks symmetry/transitivity
+  EXPECT_FALSE(cls.Contains(eq));
+  // m=2: d=1: 1; d=2: 2 partitions of the 2 elements. Total 3.
+  EXPECT_EQ(CheckEnumeration(cls, 2), 3);
+  // Amalgamation merges classes transitively: x~y in a, y~z in b.
+  Structure a(cls.schema(), 2);
+  for (Elem i = 0; i < 2; ++i) a.SetHolds2(0, i, i);
+  a.SetHolds2(0, 0, 1);
+  a.SetHolds2(0, 1, 0);
+  Structure b = a;  // y~z with y common
+  std::vector<Elem> b_to_a = {1, kNoElem};
+  auto am = cls.Amalgamate(a, b, b_to_a);
+  ASSERT_TRUE(am.has_value());
+  EXPECT_TRUE(cls.Contains(am->structure));
+  EXPECT_TRUE(am->structure.Holds2(0, am->embed_a[0], am->embed_b[1]));
+}
+
+TEST(HomClassTest, MembershipMatchesHomomorphismExistence) {
+  HomClass cls(Example2Template());
+  // Odd red cycle: not in HOM(H).
+  Structure odd(GraphZooSchema(), 3);
+  for (Elem i = 0; i < 3; ++i) {
+    odd.SetHolds2(0, i, (i + 1) % 3);
+    odd.SetHolds1(1, i);
+  }
+  EXPECT_FALSE(cls.Contains(odd));
+  // Even red cycle: in HOM(H).
+  Structure even(GraphZooSchema(), 4);
+  for (Elem i = 0; i < 4; ++i) {
+    even.SetHolds2(0, i, (i + 1) % 4);
+    even.SetHolds1(1, i);
+  }
+  EXPECT_TRUE(cls.Contains(even));
+  // Any all-white graph maps to the looped white node.
+  Structure white(GraphZooSchema(), 3);
+  white.SetHolds2(0, 0, 1);
+  white.SetHolds2(0, 1, 0);
+  white.SetHolds2(0, 2, 2);
+  EXPECT_TRUE(cls.Contains(white));
+}
+
+TEST(LiftedHomClassTest, SchemaIsPrefixExtension) {
+  LiftedHomClass cls(Example2Template());
+  EXPECT_TRUE(IsPrefixSchema(*GraphZooSchema(), *cls.schema()));
+  EXPECT_EQ(cls.schema()->num_relations(), 2 + 3);  // E, red + 3 colors
+}
+
+TEST(LiftedHomClassTest, MembershipRequiresWellColoring) {
+  LiftedHomClass cls(Example2Template());
+  // One red node colored by template node 0 (red): member.
+  Structure s(cls.schema(), 1);
+  s.SetHolds1(1, 0);              // red
+  s.SetHolds1(cls.ColorRel(0), 0);  // color 0 (red template node)
+  EXPECT_TRUE(cls.Contains(s));
+  // Red self-loop: template has no red loop -> not a member.
+  Structure loop = s;
+  loop.SetHolds2(0, 0, 0);
+  EXPECT_FALSE(cls.Contains(loop));
+  // Missing color -> not a member.
+  Structure blank(cls.schema(), 1);
+  EXPECT_FALSE(cls.Contains(blank));
+  // Two colors -> not a member.
+  Structure twice = s;
+  twice.SetHolds1(cls.ColorRel(1), 0);
+  EXPECT_FALSE(cls.Contains(twice));
+}
+
+TEST(LiftedHomClassTest, ProjectionOfMembersIsInHom) {
+  LiftedHomClass lifted(Example2Template());
+  HomClass raw(Example2Template());
+  int count = 0;
+  lifted.EnumerateGenerated(2, [&](const Structure& s,
+                                   std::span<const Elem>) {
+    ++count;
+    EXPECT_TRUE(lifted.Contains(s));
+    Structure projected = ProjectToPrefixSchema(s, raw.schema());
+    EXPECT_TRUE(raw.Contains(projected)) << s.ToString();
+  });
+  EXPECT_GT(count, 0);
+}
+
+TEST(LiftedHomClassTest, EnumerationProducesDistinctClasses) {
+  LiftedHomClass cls(Example2Template());
+  CheckEnumeration(cls, 2);
+}
+
+TEST(LiftedHomClassTest, FreeAmalgamationAlwaysWorks) {
+  LiftedHomClass cls(Example2Template());
+  // Glue two "red edge between differently-colored nodes" members over a
+  // shared endpoint.
+  Structure a(cls.schema(), 2);
+  a.SetHolds1(1, 0);
+  a.SetHolds1(1, 1);
+  a.SetHolds1(cls.ColorRel(0), 0);
+  a.SetHolds1(cls.ColorRel(1), 1);
+  a.SetHolds2(0, 0, 1);
+  ASSERT_TRUE(cls.Contains(a));
+  Structure b = a;
+  std::vector<Elem> b_to_a = {1, kNoElem};
+  // b's element 0 (color 0) identified with a's element 1 (color 1) —
+  // inconsistent instance; colors must match. Use a color-consistent glue:
+  Structure c(cls.schema(), 2);
+  c.SetHolds1(1, 0);
+  c.SetHolds1(1, 1);
+  c.SetHolds1(cls.ColorRel(1), 0);
+  c.SetHolds1(cls.ColorRel(0), 1);
+  c.SetHolds2(0, 0, 1);
+  ASSERT_TRUE(cls.Contains(c));
+  std::vector<Elem> c_to_a = {1, kNoElem};
+  auto am = cls.Amalgamate(a, c, c_to_a);
+  ASSERT_TRUE(am.has_value());
+  EXPECT_TRUE(cls.Contains(am->structure));
+  EXPECT_EQ(am->structure.size(), 3u);
+}
+
+TEST(DataClassTest, NaturalsEqualityMembership) {
+  auto base = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  DataClass cls(base, DataDomain::kNaturalsWithEquality, /*injective=*/false);
+  Structure s(cls.schema(), 2);
+  s.SetHolds2(cls.data_rel(), 0, 0);
+  s.SetHolds2(cls.data_rel(), 1, 1);
+  EXPECT_TRUE(cls.Contains(s));  // two distinct values
+  s.SetHolds2(cls.data_rel(), 0, 1);
+  EXPECT_FALSE(cls.Contains(s));  // not symmetric
+  s.SetHolds2(cls.data_rel(), 1, 0);
+  EXPECT_TRUE(cls.Contains(s));  // same value
+  // Injective variant rejects shared values.
+  DataClass inj(base, DataDomain::kNaturalsWithEquality, /*injective=*/true);
+  EXPECT_FALSE(inj.Contains(s));
+}
+
+TEST(DataClassTest, RationalsOrderMembership) {
+  auto base = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  DataClass cls(base, DataDomain::kRationalsWithOrder, /*injective=*/false);
+  Structure s(cls.schema(), 3);
+  // Values: v(0) < v(1) = v(2): dlt = {(0,1),(0,2)}.
+  s.SetHolds2(cls.data_rel(), 0, 1);
+  s.SetHolds2(cls.data_rel(), 0, 2);
+  EXPECT_TRUE(cls.Contains(s));
+  // Breaking incomparability-transitivity: 0<1, and 2 incomparable to both
+  // 0 and 1 — that is NOT a weak order (0 ~ 2 ~ 1 but 0 < 1).
+  Structure t(cls.schema(), 3);
+  t.SetHolds2(cls.data_rel(), 0, 1);
+  EXPECT_FALSE(cls.Contains(t));
+  DataClass inj(base, DataDomain::kRationalsWithOrder, /*injective=*/true);
+  EXPECT_FALSE(inj.Contains(s));  // ties not allowed
+  Structure u(cls.schema(), 2);
+  u.SetHolds2(cls.data_rel(), 1, 0);
+  EXPECT_TRUE(inj.Contains(u));
+}
+
+TEST(DataClassTest, EnumerationCountsAndValidity) {
+  // Base: unary-only schema to keep counts tiny.
+  Schema schema;
+  schema.AddRelation("p", 1);
+  auto base = std::make_shared<AllStructuresClass>(MakeSchema(std::move(schema)));
+  {
+    DataClass cls(base, DataDomain::kNaturalsWithEquality, false);
+    // m=2: base d=1 (2 structures) x 1 partition + base d=2 (4) x 2
+    // partitions = 2 + 8 = 10.
+    EXPECT_EQ(CheckEnumeration(cls, 2), 10);
+  }
+  {
+    DataClass cls(base, DataDomain::kNaturalsWithEquality, true);
+    // Injective: one data part per base structure: 2 + 4 = 6.
+    EXPECT_EQ(CheckEnumeration(cls, 2), 6);
+  }
+  {
+    DataClass cls(base, DataDomain::kRationalsWithOrder, false);
+    // Weak orders on 1 element: 1; on 2 elements: 3 (a<b, b<a, tie).
+    // Total: 2*1 + 4*3 = 14.
+    EXPECT_EQ(CheckEnumeration(cls, 2), 14);
+  }
+  {
+    DataClass cls(base, DataDomain::kRationalsWithOrder, true);
+    // Linear orders: 1 and 2: 2*1 + 4*2 = 10.
+    EXPECT_EQ(CheckEnumeration(cls, 2), 10);
+  }
+}
+
+TEST(DataClassTest, AmalgamationCompletesDataRelation) {
+  auto base = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  DataClass cls(base, DataDomain::kRationalsWithOrder, /*injective=*/false);
+  // a: value(x) < value(y); b: value(x) < value(z), common {x}.
+  Structure a(cls.schema(), 2);
+  a.SetHolds2(cls.data_rel(), 0, 1);
+  Structure b(cls.schema(), 2);
+  b.SetHolds2(cls.data_rel(), 0, 1);
+  std::vector<Elem> b_to_a = {0, kNoElem};
+  auto am = cls.Amalgamate(a, b, b_to_a);
+  ASSERT_TRUE(am.has_value());
+  EXPECT_TRUE(cls.Contains(am->structure));
+  // Embeddings preserve the data order.
+  EXPECT_TRUE(am->structure.Holds2(cls.data_rel(), am->embed_a[0],
+                                   am->embed_a[1]));
+  EXPECT_TRUE(am->structure.Holds2(cls.data_rel(), am->embed_b[0],
+                                   am->embed_b[1]));
+}
+
+TEST(DataClassTest, EqualityAmalgamationMergesThroughCommonPart) {
+  auto base = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  DataClass cls(base, DataDomain::kNaturalsWithEquality, /*injective=*/false);
+  // a: v(x) = v(y); b: v(y) = v(z); common {y} -> amalgam has v(x) = v(z).
+  Structure a(cls.schema(), 2);
+  for (Elem i = 0; i < 2; ++i) a.SetHolds2(cls.data_rel(), i, i);
+  a.SetHolds2(cls.data_rel(), 0, 1);
+  a.SetHolds2(cls.data_rel(), 1, 0);
+  Structure b = a;
+  std::vector<Elem> b_to_a = {1, kNoElem};
+  auto am = cls.Amalgamate(a, b, b_to_a);
+  ASSERT_TRUE(am.has_value());
+  EXPECT_TRUE(cls.Contains(am->structure));
+  EXPECT_TRUE(am->structure.Holds2(cls.data_rel(), am->embed_a[0],
+                                   am->embed_b[1]));
+}
+
+TEST(ProjectionTest, ProjectToPrefixSchemaDropsExtensions) {
+  LiftedHomClass lifted(Example2Template());
+  Structure s(lifted.schema(), 2);
+  s.SetHolds2(0, 0, 1);
+  s.SetHolds1(1, 0);
+  s.SetHolds1(lifted.ColorRel(0), 0);
+  s.SetHolds1(lifted.ColorRel(2), 1);
+  Structure p = ProjectToPrefixSchema(s, GraphZooSchema());
+  EXPECT_EQ(p.schema().num_relations(), 2);
+  EXPECT_TRUE(p.Holds2(0, 0, 1));
+  EXPECT_TRUE(p.Holds1(1, 0));
+}
+
+}  // namespace
+}  // namespace amalgam

@@ -1,0 +1,130 @@
+// Cross-module integration tests: full pipelines combining the parser,
+// existential elimination, class lifts, data products, the generic solver,
+// witness reconstruction, and the concrete semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fraisse/data_class.h"
+#include "fraisse/hom_class.h"
+#include "fraisse/relational.h"
+#include "solver/branching.h"
+#include "solver/emptiness.h"
+#include "system/concrete.h"
+#include "system/zoo.h"
+#include "words/solve.h"
+#include "words/zoo.h"
+
+namespace amalgam {
+namespace {
+
+TEST(IntegrationTest, ExistentialGuardsThroughHomLiftWithData) {
+  // Pipeline: parse existential guards -> eliminate (Fact 2) -> solve over
+  // a HOM lift extended with <N,=> data (Lemma 7 + Proposition 1) ->
+  // validate the witness with the concrete semantics.
+  auto lifted = std::make_shared<LiftedHomClass>(Example2Template());
+  DataClass cls(lifted, DataDomain::kNaturalsWithEquality,
+                /*injective=*/false);
+
+  DdsSystem system(cls.schema());
+  system.AddRegister("x");
+  int scan = system.AddState("scan", /*initial=*/true);
+  int hit = system.AddState("hit", false, /*accepting=*/true);
+  // Move along an edge to a node with an equal data value that has some
+  // red out-neighbor.
+  system.AddRule(scan, hit,
+                 "E(x_old, x_new) & deq(x_old, x_new) & "
+                 "exists z: (E(x_new, z) & red(z))");
+  ASSERT_FALSE(system.AllGuardsQuantifierFree());
+  DdsSystem qf = EliminateExistentials(system);
+  ASSERT_TRUE(qf.AllGuardsQuantifierFree());
+
+  SolveResult r = SolveEmptiness(qf, cls);
+  ASSERT_TRUE(r.nonempty);
+  ASSERT_TRUE(r.witness_db.has_value());
+  EXPECT_TRUE(ValidateAcceptingRun(qf, *r.witness_db, *r.witness_run));
+  // The witness is a member: well-colored, valid data part.
+  EXPECT_TRUE(cls.Contains(*r.witness_db));
+}
+
+TEST(IntegrationTest, WitnessDatabasesAreMinimalByConstruction) {
+  // The BFS finds shortest sub-transition paths; witnesses for the odd
+  // red cycle system amalgamate to the 1-node red self-loop (the shortest
+  // odd "cycle").
+  DdsSystem system = OddRedCycleSystem();
+  AllStructuresClass cls(GraphZooSchema());
+  SolveResult r = SolveEmptiness(system, cls);
+  ASSERT_TRUE(r.nonempty);
+  EXPECT_EQ(r.witness_db->size(), 1u);
+  EXPECT_TRUE(r.witness_db->Holds2(0, 0, 0));
+  EXPECT_TRUE(r.witness_db->Holds1(1, 0));
+  EXPECT_EQ(r.path.size(), 4u);  // start -> q0 -> q1 -> end
+}
+
+TEST(IntegrationTest, WordSolverAgreesWithGenericSolverOnPatternClass) {
+  // SolveWordEmptiness is a thin wrapper over SolveEmptiness with the
+  // WordRunClass; both entry points must agree.
+  Nfa nfa = NfaAlternatingAB();
+  DdsSystem system = ZigZagSystem(2);
+  WordRunClass cls(nfa);
+  SolveResult generic =
+      SolveEmptiness(system, cls, SolveOptions{.build_witness = false});
+  WordSolveResult word = SolveWordEmptiness(system, nfa, false);
+  EXPECT_EQ(generic.nonempty, word.nonempty);
+}
+
+TEST(IntegrationTest, BranchingGeneralizesLinearOverEveryClass) {
+  // Encode the reach-red system as a one-branch branching system and
+  // compare over three different classes.
+  auto check = [&](const FraisseClass& cls) {
+    DdsSystem linear = ReachRedSystem();
+    BranchingSystem branching(GraphZooSchema());
+    branching.AddRegister("x");
+    int walk = branching.AddState("walk", true);
+    int done = branching.AddState("done", false, true);
+    branching.AddRule(walk, {{"E(x_old, x_new)", walk}});
+    branching.AddRule(walk, {{"x_old = x_new & red(x_old)", done}});
+    SolveResult a =
+        SolveEmptiness(linear, cls, SolveOptions{.build_witness = false});
+    BranchingSolveResult b = SolveBranchingEmptiness(branching, cls);
+    EXPECT_EQ(a.nonempty, b.nonempty);
+  };
+  AllStructuresClass all(GraphZooSchema());
+  check(all);
+  LiftedHomClass hom(Example2Template());
+  check(hom);
+  // A template with no red at all: reach-red must be empty.
+  Structure h(GraphZooSchema(), 1);
+  h.SetHolds2(0, 0, 0);
+  LiftedHomClass no_red(h);
+  DdsSystem linear = ReachRedSystem();
+  EXPECT_FALSE(SolveEmptiness(linear, no_red,
+                              SolveOptions{.build_witness = false})
+                   .nonempty);
+}
+
+TEST(IntegrationTest, StatsAreConsistent) {
+  DdsSystem system = ReachRedSystem();
+  AllStructuresClass cls(GraphZooSchema());
+  SolveResult r = SolveEmptiness(system, cls);
+  EXPECT_GT(r.stats.members_enumerated, 0u);
+  EXPECT_GT(r.stats.guard_evaluations, 0u);
+  EXPECT_GE(r.stats.guard_evaluations,
+            r.stats.edges);  // every edge came from a satisfied guard
+  EXPECT_GT(r.stats.configs, 0u);
+}
+
+TEST(IntegrationTest, SolveIsDeterministic) {
+  DdsSystem system = OddRedCycleSystem();
+  AllStructuresClass cls(GraphZooSchema());
+  SolveResult r1 = SolveEmptiness(system, cls);
+  SolveResult r2 = SolveEmptiness(system, cls);
+  EXPECT_EQ(r1.nonempty, r2.nonempty);
+  ASSERT_TRUE(r1.witness_db.has_value());
+  ASSERT_TRUE(r2.witness_db.has_value());
+  EXPECT_TRUE(*r1.witness_db == *r2.witness_db);
+  EXPECT_EQ(r1.path.size(), r2.path.size());
+}
+
+}  // namespace
+}  // namespace amalgam

@@ -1,0 +1,251 @@
+// Unit tests for src/logic: formula construction, evaluation, parsing and
+// positive-existential stripping (the formula half of Fact 2).
+#include <gtest/gtest.h>
+
+#include "logic/formula.h"
+#include "logic/parser.h"
+
+namespace amalgam {
+namespace {
+
+SchemaRef GraphSchema() {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("red", 1);
+  return MakeSchema(std::move(s));
+}
+
+SchemaRef MeetSchema() {
+  Schema s;
+  s.AddRelation("leq", 2);
+  s.AddFunction("meet", 2);
+  return MakeSchema(std::move(s));
+}
+
+// A 3-node path graph 0 -> 1 -> 2 with red(2).
+Structure PathGraph() {
+  Structure g(GraphSchema(), 3);
+  g.SetHolds2(0, 0, 1);
+  g.SetHolds2(0, 1, 2);
+  g.SetHolds1(1, 2);
+  return g;
+}
+
+TEST(FormulaTest, EvalAtoms) {
+  Structure g = PathGraph();
+  auto edge = Formula::Rel(0, {Term::Var(0), Term::Var(1)});
+  std::vector<Elem> val01 = {0, 1};
+  std::vector<Elem> val10 = {1, 0};
+  EXPECT_TRUE(EvalFormula(*edge, g, val01));
+  EXPECT_FALSE(EvalFormula(*edge, g, val10));
+  auto eq = Formula::Eq(Term::Var(0), Term::Var(1));
+  std::vector<Elem> val00 = {0, 0};
+  EXPECT_TRUE(EvalFormula(*eq, g, val00));
+  EXPECT_FALSE(EvalFormula(*eq, g, val01));
+}
+
+TEST(FormulaTest, EvalBooleans) {
+  Structure g = PathGraph();
+  auto edge = Formula::Rel(0, {Term::Var(0), Term::Var(1)});
+  auto red1 = Formula::Rel(1, {Term::Var(1)});
+  std::vector<Elem> val12 = {1, 2};
+  std::vector<Elem> val01 = {0, 1};
+  EXPECT_TRUE(EvalFormula(*Formula::And(edge, red1), g, val12));
+  EXPECT_FALSE(EvalFormula(*Formula::And(edge, red1), g, val01));
+  EXPECT_TRUE(EvalFormula(*Formula::Or(edge, red1), g, val01));
+  EXPECT_FALSE(EvalFormula(*Formula::Not(edge), g, val01));
+  EXPECT_TRUE(EvalFormula(*Formula::True(), g, val01));
+  EXPECT_FALSE(EvalFormula(*Formula::False(), g, val01));
+}
+
+TEST(FormulaTest, EvalExistential) {
+  Structure g = PathGraph();
+  // exists z: E(x, z) — true for x in {0,1}, false for 2.
+  auto f = Formula::Exists(1, Formula::Rel(0, {Term::Var(0), Term::Var(1)}));
+  std::vector<Elem> v0 = {0};
+  std::vector<Elem> v2 = {2};
+  EXPECT_TRUE(EvalFormula(*f, g, v0));
+  EXPECT_FALSE(EvalFormula(*f, g, v2));
+}
+
+TEST(FormulaTest, EvalFunctionTerms) {
+  Structure m(MeetSchema(), 3);
+  for (Elem a = 0; a < 3; ++a) {
+    for (Elem b = 0; b < 3; ++b) m.SetFunction2(0, a, b, std::min(a, b));
+  }
+  // meet(x, y) = x  <=>  x <= y in the chain.
+  auto f = Formula::Eq(Term::App(0, {Term::Var(0), Term::Var(1)}),
+                       Term::Var(0));
+  std::vector<Elem> v12 = {1, 2};
+  std::vector<Elem> v21 = {2, 1};
+  EXPECT_TRUE(EvalFormula(*f, m, v12));
+  EXPECT_FALSE(EvalFormula(*f, m, v21));
+}
+
+TEST(FormulaTest, MaxVarAndQuantifierFree) {
+  auto f = Formula::And(Formula::Rel(0, {Term::Var(0), Term::Var(5)}),
+                        Formula::Exists(7, Formula::Eq(Term::Var(7),
+                                                       Term::Var(1))));
+  EXPECT_EQ(f->MaxVar(), 7);
+  EXPECT_FALSE(f->IsQuantifierFree());
+  EXPECT_TRUE(f->ExistentialsArePositive());
+  auto g = Formula::Not(Formula::Exists(0, Formula::True()));
+  EXPECT_FALSE(g->ExistentialsArePositive());
+}
+
+TEST(FormulaTest, StripPositiveExistentials) {
+  // exists z: E(x, z) & red(z)   with x = var 0, z = var 1.
+  auto body = Formula::And(Formula::Rel(0, {Term::Var(0), Term::Var(1)}),
+                           Formula::Rel(1, {Term::Var(1)}));
+  auto f = Formula::Exists(1, body);
+  std::vector<int> fresh;
+  auto qf = StripPositiveExistentials(f, 10, &fresh);
+  EXPECT_TRUE(qf->IsQuantifierFree());
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0], 10);
+  EXPECT_EQ(qf->MaxVar(), 10);
+  // Semantics: f holds at x iff qf holds at x with some witness value.
+  Structure g = PathGraph();
+  std::vector<Elem> val(11, 0);
+  val[0] = 1;  // x = 1; witness z = 2
+  val[10] = 2;
+  EXPECT_TRUE(EvalFormula(*qf, g, val));
+  val[10] = 0;
+  EXPECT_FALSE(EvalFormula(*qf, g, val));
+}
+
+TEST(FormulaTest, StripRejectsNegatedExistentials) {
+  auto f = Formula::Not(Formula::Exists(0, Formula::True()));
+  std::vector<int> fresh;
+  EXPECT_THROW(StripPositiveExistentials(f, 5, &fresh),
+               std::invalid_argument);
+}
+
+TEST(ParserTest, ParsesGuardsAndEvaluates) {
+  auto schema = GraphSchema();
+  VarTable vars;
+  int x_old = vars.Register("x_old");
+  int x_new = vars.Register("x_new");
+  auto f = ParseFormula("E(x_old, x_new) & red(x_new)", *schema, &vars);
+  Structure g = PathGraph();
+  std::vector<Elem> val(2);
+  val[x_old] = 1;
+  val[x_new] = 2;
+  EXPECT_TRUE(EvalFormula(*f, g, val));
+  val[x_old] = 0;
+  val[x_new] = 1;
+  EXPECT_FALSE(EvalFormula(*f, g, val));
+}
+
+TEST(ParserTest, PrecedenceNotBindsTighterThanAndThanOr) {
+  auto schema = GraphSchema();
+  VarTable vars;
+  vars.Register("x");
+  auto f = ParseFormula("!red(x) & red(x) | red(x)", *schema, &vars);
+  // Parsed as ((!red(x) & red(x)) | red(x)) — true iff red(x).
+  Structure g = PathGraph();
+  std::vector<Elem> v2 = {2};
+  std::vector<Elem> v0 = {0};
+  EXPECT_TRUE(EvalFormula(*f, g, v2));
+  EXPECT_FALSE(EvalFormula(*f, g, v0));
+}
+
+TEST(ParserTest, EqualityAndInequality) {
+  auto schema = GraphSchema();
+  VarTable vars;
+  vars.Register("x");
+  vars.Register("y");
+  auto f = ParseFormula("x = y", *schema, &vars);
+  auto g = ParseFormula("x != y", *schema, &vars);
+  Structure s = PathGraph();
+  std::vector<Elem> same = {1, 1};
+  std::vector<Elem> diff = {1, 2};
+  EXPECT_TRUE(EvalFormula(*f, s, same));
+  EXPECT_FALSE(EvalFormula(*f, s, diff));
+  EXPECT_FALSE(EvalFormula(*g, s, same));
+  EXPECT_TRUE(EvalFormula(*g, s, diff));
+}
+
+TEST(ParserTest, FunctionTermsParse) {
+  auto schema = MeetSchema();
+  VarTable vars;
+  vars.Register("x");
+  vars.Register("y");
+  auto f = ParseFormula("meet(x, y) = x", *schema, &vars);
+  Structure m(schema, 3);
+  for (Elem a = 0; a < 3; ++a) {
+    for (Elem b = 0; b < 3; ++b) m.SetFunction2(0, a, b, std::min(a, b));
+  }
+  std::vector<Elem> v02 = {0, 2};
+  std::vector<Elem> v20 = {2, 0};
+  EXPECT_TRUE(EvalFormula(*f, m, v02));
+  EXPECT_FALSE(EvalFormula(*f, m, v20));
+}
+
+TEST(ParserTest, ExistsParsesAndShadowsAcrossGuards) {
+  auto schema = GraphSchema();
+  VarTable vars;
+  vars.Register("x");
+  auto f = ParseFormula("exists z: E(x, z)", *schema, &vars);
+  auto g = ParseFormula("exists z: E(z, x)", *schema, &vars);  // reuse "z"
+  EXPECT_FALSE(f->IsQuantifierFree());
+  Structure s = PathGraph();
+  std::vector<Elem> v0 = {0};
+  std::vector<Elem> v2 = {2};
+  EXPECT_TRUE(EvalFormula(*f, s, v0));
+  EXPECT_FALSE(EvalFormula(*f, s, v2));
+  EXPECT_FALSE(EvalFormula(*g, s, v0));
+  EXPECT_TRUE(EvalFormula(*g, s, v2));
+}
+
+TEST(ParserTest, MultiBinderExists) {
+  auto schema = GraphSchema();
+  VarTable vars;
+  vars.Register("x");
+  // A path of length 2 leaves x.
+  auto f = ParseFormula("exists u, v: (E(x, u) & E(u, v))", *schema, &vars);
+  Structure s = PathGraph();
+  std::vector<Elem> v0 = {0};
+  std::vector<Elem> v1 = {1};
+  EXPECT_TRUE(EvalFormula(*f, s, v0));
+  EXPECT_FALSE(EvalFormula(*f, s, v1));
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  auto schema = GraphSchema();
+  VarTable vars;
+  vars.Register("x");
+  EXPECT_THROW(ParseFormula("E(x)", *schema, &vars), std::invalid_argument);
+  EXPECT_THROW(ParseFormula("E(x, y)", *schema, &vars),
+               std::invalid_argument);  // unknown y
+  EXPECT_THROW(ParseFormula("x =", *schema, &vars), std::invalid_argument);
+  EXPECT_THROW(ParseFormula("red(x) &", *schema, &vars),
+               std::invalid_argument);
+  EXPECT_THROW(ParseFormula("(red(x)", *schema, &vars),
+               std::invalid_argument);
+  EXPECT_THROW(ParseFormula("red(x) extra", *schema, &vars),
+               std::invalid_argument);
+}
+
+TEST(ParserTest, ToStringRoundTripsThroughParser) {
+  auto schema = GraphSchema();
+  VarTable vars;
+  vars.Register("x");
+  vars.Register("y");
+  auto f = ParseFormula("E(x, y) & (red(x) | x != y)", *schema, &vars);
+  std::string text = f->ToString(*schema, vars.names());
+  VarTable vars2;
+  vars2.Register("x");
+  vars2.Register("y");
+  auto g = ParseFormula(text, *schema, &vars2);
+  Structure s = PathGraph();
+  for (Elem a = 0; a < 3; ++a) {
+    for (Elem b = 0; b < 3; ++b) {
+      std::vector<Elem> val = {a, b};
+      EXPECT_EQ(EvalFormula(*f, s, val), EvalFormula(*g, s, val));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amalgam

@@ -1,0 +1,385 @@
+// Tests for the Theorem 3 machinery: trees, tree automata and their
+// analyses, the run-pattern class (membership validated differentially
+// against brute-force pointer-closure extraction), completion, and
+// end-to-end tree emptiness.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "base/canonical.h"
+#include "fraisse/data_class.h"
+#include "trees/solve.h"
+#include "trees/zoo.h"
+
+namespace amalgam {
+namespace {
+
+Tree Chain(int n) {
+  Tree t;
+  t.AddNode(-1, 0);
+  for (int i = 1; i < n; ++i) t.AddNode(i - 1, 0);
+  return t;
+}
+
+TEST(TreeTest, BasicsAndTreedb) {
+  Tree t;
+  int r = t.AddNode(-1, 0);
+  int c1 = t.AddNode(r, 1);
+  int c2 = t.AddNode(r, 0);
+  int g = t.AddNode(c1, 1);
+  EXPECT_TRUE(t.AncestorOrSelf(r, g));
+  EXPECT_FALSE(t.AncestorOrSelf(c2, g));
+  EXPECT_EQ(t.Cca(g, c2), r);
+  EXPECT_EQ(t.Cca(g, c1), c1);
+  auto pos = t.PreorderPositions();
+  EXPECT_LT(pos[r], pos[c1]);
+  EXPECT_LT(pos[c1], pos[g]);
+  EXPECT_LT(pos[g], pos[c2]);  // left subtree before right sibling
+
+  auto schema = MakeTreeSchema({"a", "b"});
+  Structure db = TreedbOf(t, schema);
+  int desc = schema->RelationId("desc");
+  int doc = schema->RelationId("doc");
+  int cca = schema->FunctionId("cca");
+  EXPECT_TRUE(db.Holds2(desc, r, g));
+  EXPECT_TRUE(db.Holds2(desc, g, g));
+  EXPECT_FALSE(db.Holds2(desc, c2, g));
+  EXPECT_TRUE(db.Holds2(doc, g, c2));
+  EXPECT_EQ(db.Apply2(cca, g, c2), static_cast<Elem>(r));
+  EXPECT_TRUE(db.Holds1(1, c1));
+  EXPECT_FALSE(db.Holds1(0, c1));
+}
+
+TEST(TreeTest, ForEachTreeCoversAllShapes) {
+  int count = 0;
+  std::set<std::string> seen;
+  auto schema = MakeTreeSchema({"a"});
+  ForEachTree(3, 1, [&](const Tree& t) {
+    ++count;
+    seen.insert(Canonicalize(TreedbOf(t, schema), {}).key);
+  });
+  // Shapes on 3 nodes: chain and root-with-2-children = 2 distinct.
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_GE(count, 2);
+}
+
+TEST(AutomatonTest, RunsOnZooAutomata) {
+  TreeAutomaton chains = TaChains();
+  EXPECT_TRUE(chains.Accepts(Chain(1)));
+  EXPECT_TRUE(chains.Accepts(Chain(4)));
+  Tree fork;
+  fork.AddNode(-1, 0);
+  fork.AddNode(0, 0);
+  fork.AddNode(0, 0);
+  EXPECT_FALSE(chains.Accepts(fork));  // no next-sibling edges
+
+  TreeAutomaton two = TaTwoLevel();
+  Tree flat;
+  flat.AddNode(-1, 0);
+  flat.AddNode(0, 1);
+  flat.AddNode(0, 1);
+  EXPECT_TRUE(two.Accepts(flat));
+  EXPECT_FALSE(two.Accepts(Chain(1)));  // lone r-root is not a leaf state
+  Tree deep;
+  deep.AddNode(-1, 0);
+  deep.AddNode(0, 1);
+  deep.AddNode(1, 1);
+  EXPECT_FALSE(two.Accepts(deep));  // a-leaves cannot have children
+
+  TreeAutomaton all = TaAllTrees();
+  EXPECT_TRUE(all.Accepts(fork));
+  EXPECT_TRUE(all.Accepts(Chain(3)));
+}
+
+TEST(AutomatonTest, AnalysesClassifyComponents) {
+  TreeAutomaton chains = TaChains();
+  EXPECT_TRUE(chains.SubtreeRealizable(0));
+  EXPECT_TRUE(chains.Productive(0));
+  EXPECT_TRUE(chains.ChildOk(0, 0));
+  EXPECT_EQ(chains.NumDescendantComponents(), 1);
+  EXPECT_FALSE(chains.IsBranching(0));  // one child max => linear
+
+  TreeAutomaton all = TaAllTrees();
+  EXPECT_EQ(all.NumDescendantComponents(), 1);
+  EXPECT_TRUE(all.IsBranching(all.DescendantComponents()[0]));
+
+  TreeAutomaton two = TaTwoLevel();
+  // qr and qa are separate components; qr's precedes qa's.
+  auto comp = two.DescendantComponents();
+  EXPECT_NE(comp[0], comp[1]);
+  EXPECT_LT(comp[0], comp[1]);
+}
+
+TEST(AutomatonTest, MinimalSubtrees) {
+  TreeAutomaton two = TaTwoLevel();
+  auto sub = two.MinimalSubtree(0);  // qr needs one qa child
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(sub->first.size(), 2);
+  EXPECT_TRUE(two.IsRun(sub->first, sub->second));
+  auto leaf = two.MinimalSubtree(1);
+  ASSERT_TRUE(leaf.has_value());
+  EXPECT_EQ(leaf->first.size(), 1);
+
+  TreeAutomaton comb = TaComb();
+  for (int q = 0; q < comb.num_states(); ++q) {
+    auto s = comb.MinimalSubtree(q);
+    ASSERT_TRUE(s.has_value());
+    // MinimalSubtree alone is not a full run (the root flag may not hold);
+    // check the local constraints via a rooted wrapper only for state 0.
+    if (comb.is_root(q)) EXPECT_TRUE(comb.IsRun(s->first, s->second));
+  }
+}
+
+// ---- Differential validation of the pattern class ----
+
+class TreeClassDifferential : public ::testing::TestWithParam<int> {
+ protected:
+  TreeAutomaton MakeAutomaton() const {
+    switch (GetParam()) {
+      case 0:
+        return TaChains();
+      case 1:
+        return TaTwoLevel();
+      case 2:
+        return TaComb();
+      case 3:
+        return TaAlternatingChains();
+      default:
+        return TaAllTrees();
+    }
+  }
+  int MaxTreeSize() const { return GetParam() == 4 ? 4 : 5; }
+};
+
+TEST_P(TreeClassDifferential, ExtractedClosuresAreMembersAndRoundTrip) {
+  TreeAutomaton ta = MakeAutomaton();
+  TreePatternOracle oracle(&ta);
+  TreeRunClass cls(&ta, /*extra_cap=*/4);
+  std::set<std::string> extracted_keys;
+  int checked = 0;
+  for (int size = 1; size <= MaxTreeSize(); ++size) {
+    ForEachTree(size, ta.num_labels(), [&](const Tree& t) {
+      auto run = ta.FindRun(t);
+      if (!run.has_value()) return;
+      // All seed pairs (including singletons).
+      for (int s1 = 0; s1 < t.size(); ++s1) {
+        for (int s2 = s1; s2 < t.size(); ++s2) {
+          auto [pattern, origin] =
+              oracle.ExtractClosedPattern(t, *run, {s1, s2});
+          ++checked;
+          EXPECT_TRUE(oracle.PatternInClass(pattern))
+              << "extracted pattern rejected (tree size " << size << ")";
+          // Encode + decode round trip.
+          Structure enc = cls.PatternToStructure(pattern);
+          auto back = cls.StructureToPattern(enc);
+          ASSERT_TRUE(back.has_value());
+          EXPECT_EQ(back->state, pattern.state);
+          EXPECT_EQ(back->cmax, pattern.cmax);
+          extracted_keys.insert(Canonicalize(enc, {}).key);
+        }
+      }
+    });
+  }
+  EXPECT_GT(checked, 0);
+
+  // Completion check: every member pattern of <= 3 nodes that the oracle
+  // accepts must complete to a genuine run whose closed extraction over the
+  // pattern's nodes reproduces the pattern exactly; rejected patterns must
+  // never appear among brute-force extractions.
+  TreePattern p;
+  std::function<void(int)> states_and_check = [&](int v) {
+    if (v == p.size()) {
+      // All cmax combinations.
+      std::function<void(int)> flags = [&](int w) {
+        if (w == p.size()) {
+          bool member = oracle.PatternInClass(p);
+          std::string key =
+              Canonicalize(cls.PatternToStructure(p), {}).key;
+          if (member) {
+            auto completion = oracle.Complete(p);
+            ASSERT_TRUE(completion.has_value());
+            EXPECT_TRUE(ta.IsRun(completion->tree, completion->run));
+            auto closure = oracle.PointerClosure(
+                completion->tree, completion->run, completion->pattern_node);
+            EXPECT_EQ(closure.size(), completion->pattern_node.size())
+                << "pattern nodes are not pointer-closed in the completion";
+            auto [back, origin] = oracle.ExtractClosedPattern(
+                completion->tree, completion->run, completion->pattern_node);
+            EXPECT_EQ(back.state, p.state);
+            EXPECT_EQ(back.parent, p.parent);
+            EXPECT_EQ(back.cmax, p.cmax);
+          } else {
+            EXPECT_FALSE(extracted_keys.contains(key))
+                << "oracle rejected an extractable pattern";
+          }
+          return;
+        }
+        for (bool f : {false, true}) {
+          p.cmax[w] = f;
+          flags(w + 1);
+        }
+      };
+      flags(0);
+      return;
+    }
+    for (int q = 0; q < ta.num_states(); ++q) {
+      p.state[v] = q;
+      states_and_check(v + 1);
+    }
+  };
+  std::function<void(int, int)> shapes = [&](int size, int next) {
+    if (next == size) {
+      states_and_check(0);
+      return;
+    }
+    for (int par = 0; par < next; ++par) {
+      p.AddNode(par, 0, false);
+      shapes(size, next + 1);
+      p.parent.pop_back();
+      p.children.pop_back();
+      p.state.pop_back();
+      p.cmax.pop_back();
+      p.children[par].pop_back();
+    }
+  };
+  for (int size = 1; size <= 3; ++size) {
+    p = TreePattern{};
+    p.AddNode(-1, 0, false);
+    shapes(size, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Automata, TreeClassDifferential,
+                         ::testing::Range(0, 5));
+
+TEST(TreeClassTest, EnumerationIsValidAndGenerated) {
+  for (int which = 0; which < 3; ++which) {
+    TreeAutomaton ta =
+        which == 0 ? TaChains() : which == 1 ? TaTwoLevel() : TaComb();
+    TreeRunClass cls(&ta, /*extra_cap=*/3);
+    int count = 0;
+    cls.EnumerateGenerated(1, [&](const Structure& s,
+                                  std::span<const Elem> marks) {
+      ++count;
+      EXPECT_TRUE(cls.Contains(s)) << "automaton " << which;
+      auto closure = GeneratedSubset(s, marks);
+      EXPECT_EQ(closure.size(), s.size()) << "not generated";
+    });
+    EXPECT_GT(count, 0);
+  }
+}
+
+// ---- End-to-end: Theorem 3 ----
+
+TEST(TreeSolveTest, DescendOverChainsAndTwoLevel) {
+  TreeAutomaton chains = TaChains();
+  TreeAutomaton two = TaTwoLevel();
+  // Chains have unbounded depth: descending any number of steps works.
+  for (int steps : {1, 2, 3}) {
+    TreeSolveResult r = SolveTreeEmptiness(DescendSystem(chains, steps),
+                                           chains, /*witness_size_cap=*/6,
+                                           /*extra_pattern_cap=*/3);
+    EXPECT_TRUE(r.nonempty) << "steps " << steps;
+    ASSERT_TRUE(r.witness.has_value());
+    Structure db = TreedbOf(r.witness->tree,
+                            DescendSystem(chains, steps).schema_ref());
+    EXPECT_TRUE(ValidateAcceptingRun(DescendSystem(chains, steps), db,
+                                     r.witness->system_run));
+  }
+  // Two-level trees have depth 1: one descend works, two do not.
+  EXPECT_TRUE(SolveTreeEmptiness(DescendSystem(two, 1), two, 6, 3).nonempty);
+  EXPECT_FALSE(SolveTreeEmptiness(DescendSystem(two, 2), two, 6, 3).nonempty);
+}
+
+TEST(TreeSolveTest, FindBBelow) {
+  TreeAutomaton all = TaAllTrees();
+  TreeAutomaton chains = TaChains();  // unary alphabet: no b at all
+  EXPECT_TRUE(SolveTreeEmptiness(FindBBelowSystem(all), all, 5, 3).nonempty);
+  TreeAutomaton comb = TaComb();
+  EXPECT_TRUE(
+      SolveTreeEmptiness(FindBBelowSystem(comb), comb, 5, 3).nonempty);
+  // Two-level: b does not even exist in the alphabet of TaTwoLevel; build
+  // an all-a automaton with labels {a,b} accepting only a-labeled chains.
+  TreeAutomaton a_chains({"a", "b"});
+  int q = a_chains.AddState(0, true, true, true);
+  a_chains.AddFirstChild(q, q);
+  EXPECT_FALSE(
+      SolveTreeEmptiness(FindBBelowSystem(a_chains), a_chains, 5, 3)
+          .nonempty);
+  (void)chains;
+}
+
+// Random systems, differential against brute-force tree search.
+class TreeSolverDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeSolverDifferential, AgreesWithBruteForce) {
+  std::mt19937 rng(GetParam());
+  TreeAutomaton ta = (GetParam() % 2 == 0) ? TaComb() : TaTwoLevel();
+  TreeRunClass cls_for_schema(&ta);
+  DdsSystem system(cls_for_schema.tree_schema());
+  system.AddRegister("x");
+  int s0 = system.AddState("s0", true);
+  int s1 = system.AddState("s1");
+  int s2 = system.AddState("s2", false, true);
+  const bool two_labels = true;
+  const char* guard_pool[] = {
+      "desc(x_old, x_new) & x_old != x_new",
+      "desc(x_new, x_old) & x_old != x_new",
+      "x_new = x_old",
+      "cca(x_old, x_new) != x_old & cca(x_old, x_new) != x_new",
+      "doc(x_old, x_new)",
+      "doc(x_new, x_old) & !desc(x_new, x_old)",
+      "desc(x_old, x_new) & x_old != x_new & x_new = cca(x_new, x_new)",
+  };
+  (void)two_labels;
+  int states[] = {s0, s1, s2};
+  const int num_rules = 2 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < num_rules; ++i) {
+    system.AddRule(states[rng() % 3], states[rng() % 3],
+                   guard_pool[rng() % 7]);
+  }
+  TreeSolveResult r =
+      SolveTreeEmptiness(system, ta, /*witness_size_cap=*/6,
+                         /*extra_pattern_cap=*/3);
+  auto brute = BruteForceTreeSearch(system, ta, 6);
+  EXPECT_EQ(r.nonempty, brute.has_value())
+      << "solver and brute force disagree (seed " << GetParam() << ")";
+  if (r.witness.has_value()) {
+    Structure db = TreedbOf(r.witness->tree, system.schema_ref());
+    EXPECT_TRUE(ValidateAcceptingRun(system, db, r.witness->system_run));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeSolverDifferential,
+                         ::testing::Range(0, 16));
+
+// ---- Theorem 9: data trees ----
+
+TEST(DataTreeTest, EqualAttributeDescent) {
+  // The paper's introductory example: move to a strict descendant carrying
+  // the same data value. Over chains with <N,=> attributes this is
+  // satisfiable; requiring *different* nodes with equal values under an
+  // injective labeling is not.
+  TreeAutomaton chains = TaChains();
+  auto base = std::make_shared<TreeRunClass>(&chains, /*extra_cap=*/3);
+  DataClass data(base, DataDomain::kNaturalsWithEquality,
+                 /*injective=*/false);
+  DdsSystem system(data.schema());
+  system.AddRegister("x");
+  int a = system.AddState("a", true);
+  int b = system.AddState("b", false, true);
+  system.AddRule(a, b,
+                 "desc(x_old, x_new) & x_old != x_new & deq(x_old, x_new)");
+  SolveResult r = SolveEmptiness(system, data,
+                                 SolveOptions{.build_witness = false});
+  EXPECT_TRUE(r.nonempty);
+
+  DataClass inj(base, DataDomain::kNaturalsWithEquality, /*injective=*/true);
+  SolveResult r2 = SolveEmptiness(system, inj,
+                                  SolveOptions{.build_witness = false});
+  EXPECT_FALSE(r2.nonempty);
+}
+
+}  // namespace
+}  // namespace amalgam

@@ -1,0 +1,72 @@
+// Unit tests for src/util: enumeration helpers and hashing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/enumerate.h"
+#include "util/hash.h"
+
+namespace amalgam {
+namespace {
+
+TEST(EnumerateTest, SetPartitionCountsAreBellNumbers) {
+  // Bell numbers: 1, 1, 2, 5, 15, 52, 203.
+  const int bell[] = {1, 1, 2, 5, 15, 52, 203};
+  for (int m = 0; m <= 6; ++m) {
+    int count = 0;
+    std::set<std::vector<int>> seen;
+    ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+      ++count;
+      EXPECT_TRUE(seen.insert(block_of).second) << "duplicate partition";
+      // Restricted growth: block_of[i] <= max(prefix) + 1.
+      int max_seen = -1;
+      for (int b : block_of) {
+        EXPECT_LE(b, max_seen + 1);
+        max_seen = std::max(max_seen, b);
+      }
+    });
+    EXPECT_EQ(count, bell[m]) << "m=" << m;
+  }
+}
+
+TEST(EnumerateTest, PermutationsAndTuples) {
+  int perms = 0;
+  ForEachPermutation(4, [&](const std::vector<int>&) { ++perms; });
+  EXPECT_EQ(perms, 24);
+  int tuples = 0;
+  ForEachTuple(3, 4, [&](const std::vector<int>&) { ++tuples; });
+  EXPECT_EQ(tuples, 81);
+  // Degenerate cases.
+  int empty = 0;
+  ForEachTuple(5, 0, [&](const std::vector<int>& t) {
+    ++empty;
+    EXPECT_TRUE(t.empty());
+  });
+  EXPECT_EQ(empty, 1);
+  int none = 0;
+  ForEachTuple(0, 2, [&](const std::vector<int>&) { ++none; });
+  EXPECT_EQ(none, 0);
+}
+
+TEST(EnumerateTest, IntPowSaturates) {
+  EXPECT_EQ(IntPow(2, 10), 1024u);
+  EXPECT_EQ(IntPow(10, 0), 1u);
+  EXPECT_EQ(IntPow(0, 0), 1u);
+  EXPECT_EQ(IntPow(0, 5), 0u);
+  EXPECT_EQ(IntPow(2, 64), UINT64_MAX);  // saturation
+  EXPECT_EQ(IntPow(UINT64_MAX, 2), UINT64_MAX);
+}
+
+TEST(HashTest, VectorHashDistinguishesAndAgrees) {
+  VectorHash<int> h;
+  std::vector<int> a = {1, 2, 3};
+  std::vector<int> b = {1, 2, 3};
+  std::vector<int> c = {3, 2, 1};
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_NE(h(a), h(c));  // order matters (with overwhelming probability)
+  std::vector<int> empty;
+  EXPECT_EQ(h(empty), h(std::vector<int>{}));
+}
+
+}  // namespace
+}  // namespace amalgam
