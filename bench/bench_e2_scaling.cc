@@ -44,6 +44,34 @@ void BM_StatesSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_StatesSweep)->RangeMultiplier(2)->Range(2, 64)->Unit(benchmark::kMillisecond);
 
+// Head-to-head on a nonempty chain instance: the on-the-fly strategy stops
+// at the first accepting configuration, the eager reference sweeps the whole
+// class. The `members_*` counters expose the gap the engine refactor buys.
+void BM_StrategyComparison(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DdsSystem system = ChainSystem(n, 1);
+  AllStructuresClass cls(GraphZooSchema());
+  const SolveStrategy strategy = state.range(1) == 0 ? SolveStrategy::kEager
+                                                     : SolveStrategy::kOnTheFly;
+  SolveResult last;
+  for (auto _ : state) {
+    last = SolveEmptiness(system, cls,
+                          SolveOptions{.build_witness = false,
+                                       .strategy = strategy});
+    benchmark::DoNotOptimize(last.nonempty);
+  }
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+  state.counters["guard_evals"] =
+      static_cast<double>(last.stats.guard_evaluations);
+  state.counters["raw_memo_hits"] =
+      static_cast<double>(last.stats.raw_memo_hits);
+}
+BENCHMARK(BM_StrategyComparison)
+    ->ArgsProduct({{4, 16, 64}, {0, 1}})
+    ->ArgNames({"states", "onthefly"})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RegistersSweep(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   DdsSystem system = ChainSystem(3, k);
@@ -87,4 +115,32 @@ BENCHMARK(BM_RegistersUnarySchema)->DenseRange(1, 4)->Unit(benchmark::kMilliseco
 }  // namespace
 }  // namespace amalgam
 
-BENCHMARK_MAIN();
+// Custom main: emit machine-readable JSON (BENCH_e2.json) by default so
+// successive PRs accumulate a perf trajectory; explicit --benchmark_out
+// flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  bool has_format = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exactly --benchmark_out=...; must not match --benchmark_out_format.
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+    if (std::string(argv[i]).rfind("--benchmark_out_format=", 0) == 0) {
+      has_format = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_e2.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) args.push_back(out_flag.data());
+  if (!has_out && !has_format) args.push_back(format_flag.data());
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

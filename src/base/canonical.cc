@@ -6,6 +6,7 @@
 #include <map>
 
 #include "util/enumerate.h"
+#include "util/hash.h"
 
 namespace amalgam {
 
@@ -174,8 +175,9 @@ CanonicalForm Canonicalize(const Structure& s, std::span<const Elem> marks) {
     best_structure = Structure(s.schema_ref(), 0);
     best_key = std::string("\x01") + best_structure.EncodeContent();
   }
+  const std::size_t hash = HashRange(best_key.begin(), best_key.end());
   return CanonicalForm{std::move(best_structure), std::move(best_marks),
-                       std::move(best_key), std::move(best_perm)};
+                       std::move(best_key), std::move(best_perm), hash};
 }
 
 }  // namespace amalgam

@@ -74,9 +74,10 @@ bool DataClass::Contains(const Structure& s) const {
   return base_->Contains(ProjectToPrefixSchema(s, base_->schema()));
 }
 
-void DataClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
-  base_->EnumerateGenerated(m, [&](const Structure& d,
-                                   std::span<const Elem> marks) {
+void DataClass::EnumerateGeneratedUntil(int m, const StopCallback& cb) const {
+  bool go = true;
+  base_->EnumerateGeneratedUntil(m, [&](const Structure& d,
+                                        std::span<const Elem> marks) {
     const int n = static_cast<int>(d.size());
     Structure extended = ExtendToSchema(d, schema_);
     auto clear_data = [&] {
@@ -91,11 +92,12 @@ void DataClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
         for (Elem a = 0; a < static_cast<Elem>(n); ++a) {
           extended.SetHolds2(data_rel_, a, a, true);
         }
-        cb(extended, marks);
-        return;
+        go = cb(extended, marks);
+        return go;
       }
       // All equivalence relations on the domain.
       ForEachSetPartition(n, [&](const std::vector<int>& class_of) {
+        if (!go) return;
         clear_data();
         for (Elem a = 0; a < static_cast<Elem>(n); ++a) {
           for (Elem b = 0; b < static_cast<Elem>(n); ++b) {
@@ -104,14 +106,15 @@ void DataClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
             }
           }
         }
-        cb(extended, marks);
+        if (!cb(extended, marks)) go = false;
       });
-      return;
+      return go;
     }
     // <Q,<>: weak orders = partition into value classes + linear order of
     // the classes; injective = all strict linear orders.
     if (injective_) {
       ForEachPermutation(n, [&](const std::vector<int>& position_of) {
+        if (!go) return;
         clear_data();
         for (Elem a = 0; a < static_cast<Elem>(n); ++a) {
           for (Elem b = 0; b < static_cast<Elem>(n); ++b) {
@@ -120,16 +123,18 @@ void DataClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
             }
           }
         }
-        cb(extended, marks);
+        if (!cb(extended, marks)) go = false;
       });
-      return;
+      return go;
     }
     ForEachSetPartition(n, [&](const std::vector<int>& class_of) {
+      if (!go) return;
       const int num_classes =
           class_of.empty()
               ? 0
               : 1 + *std::max_element(class_of.begin(), class_of.end());
       ForEachPermutation(num_classes, [&](const std::vector<int>& class_pos) {
+        if (!go) return;
         clear_data();
         for (Elem a = 0; a < static_cast<Elem>(n); ++a) {
           for (Elem b = 0; b < static_cast<Elem>(n); ++b) {
@@ -138,9 +143,10 @@ void DataClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
             }
           }
         }
-        cb(extended, marks);
+        if (!cb(extended, marks)) go = false;
       });
     });
+    return go;
   });
 }
 

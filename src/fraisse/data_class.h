@@ -41,7 +41,7 @@ class DataClass : public FraisseClass {
   const SchemaRef& schema() const override { return schema_; }
   bool Contains(const Structure& s) const override;
   std::uint64_t Blowup(int n) const override { return base_->Blowup(n); }
-  void EnumerateGenerated(int m, const EnumCallback& cb) const override;
+  void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;
   std::optional<AmalgamResult> Amalgamate(
       const Structure& a, const Structure& b,
       std::span<const Elem> b_to_a) const override;

@@ -12,52 +12,4 @@ std::optional<AmalgamResult> FraisseClass::Amalgamate(
   return result;
 }
 
-bool IsPrefixSchema(const Schema& base, const Schema& extended) {
-  if (base.num_relations() > extended.num_relations()) return false;
-  if (base.num_functions() > extended.num_functions()) return false;
-  for (int r = 0; r < base.num_relations(); ++r) {
-    if (base.relation(r).name != extended.relation(r).name ||
-        base.relation(r).arity != extended.relation(r).arity) {
-      return false;
-    }
-  }
-  for (int f = 0; f < base.num_functions(); ++f) {
-    if (base.function(f).name != extended.function(f).name ||
-        base.function(f).arity != extended.function(f).arity) {
-      return false;
-    }
-  }
-  return true;
-}
-
-Structure ProjectToPrefixSchema(const Structure& s, const SchemaRef& base) {
-  assert(IsPrefixSchema(*base, s.schema()));
-  Structure result(base, s.size());
-  for (int r = 0; r < base->num_relations(); ++r) {
-    for (const auto& t : s.Tuples(r)) result.SetHolds(r, t, true);
-  }
-  std::vector<Elem> all(s.size());
-  for (Elem e = 0; e < s.size(); ++e) all[e] = e;
-  for (int f = 0; f < base->num_functions(); ++f) {
-    const int arity = base->function(f).arity;
-    std::vector<Elem> args(arity);
-    std::function<void(int)> rec = [&](int i) {
-      if (i == arity) {
-        result.SetFunction(f, args, s.Apply(f, args));
-        return;
-      }
-      for (Elem e = 0; e < s.size(); ++e) {
-        args[i] = e;
-        rec(i + 1);
-      }
-    };
-    if (arity == 0) {
-      if (s.size() > 0) result.SetFunction(f, {}, s.Apply(f, {}));
-    } else {
-      rec(0);
-    }
-  }
-  return result;
-}
-
 }  // namespace amalgam

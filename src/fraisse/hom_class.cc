@@ -20,7 +20,7 @@ bool HomClass::Contains(const Structure& s) const {
   return FindHomomorphism(s, template_).has_value();
 }
 
-void HomClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
+void HomClass::EnumerateGeneratedUntil(int m, const StopCallback& cb) const {
   EnumerateRelationalGenerated(
       schema_, m, [this](const Structure& s) { return Contains(s); }, cb);
 }
@@ -68,14 +68,17 @@ bool LiftedHomClass::Contains(const Structure& s) const {
   return true;
 }
 
-void LiftedHomClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
+void LiftedHomClass::EnumerateGeneratedUntil(int m,
+                                             const StopCallback& cb) const {
   // Direct enumeration: choose the mark partition, a color for each
   // element, then any subset of the base-relation tuples allowed by the
   // template through the coloring. This produces exactly the members,
   // without the 2^(d * |H|) waste of enumerating color predicates as
   // arbitrary unary relations.
   const int num_base_rels = template_.schema().num_relations();
+  bool go = true;
   ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+    if (!go) return;
     const int d =
         block_of.empty()
             ? 0
@@ -85,6 +88,7 @@ void LiftedHomClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
     const int h = static_cast<int>(template_.size());
     if (d > 0 && h == 0) return;  // no coloring exists
     ForEachTuple(std::max(h, 1), d, [&](const std::vector<int>& coloring) {
+      if (!go) return;
       // Allowed atoms under this coloring.
       struct Atom {
         int rel;
@@ -120,7 +124,10 @@ void LiftedHomClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
           }
         }
         previous = mask;
-        cb(s, marks);
+        if (!cb(s, marks)) {
+          go = false;
+          return;
+        }
       }
     });
   });

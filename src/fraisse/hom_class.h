@@ -22,7 +22,7 @@ class HomClass : public FraisseClass {
   const SchemaRef& schema() const override { return schema_; }
   bool Contains(const Structure& s) const override;
   std::uint64_t Blowup(int n) const override { return n; }
-  void EnumerateGenerated(int m, const EnumCallback& cb) const override;
+  void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;
   const Structure& template_db() const { return template_; }
 
  private:
@@ -41,7 +41,7 @@ class LiftedHomClass : public FraisseClass {
   const SchemaRef& schema() const override { return schema_; }
   bool Contains(const Structure& s) const override;
   std::uint64_t Blowup(int n) const override { return n; }
-  void EnumerateGenerated(int m, const EnumCallback& cb) const override;
+  void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;
   /// Free amalgamation — always succeeds in this class (Lemma 7's proof).
   std::optional<AmalgamResult> Amalgamate(
       const Structure& a, const Structure& b,

@@ -12,10 +12,12 @@ namespace amalgam {
 void EnumerateRelationalGenerated(
     const SchemaRef& schema, int m,
     const std::function<bool(const Structure&)>& contains,
-    const FraisseClass::EnumCallback& cb) {
+    const FraisseClass::StopCallback& cb) {
   assert(schema->num_functions() == 0 &&
          "relational enumerator requires a function-free schema");
+  bool go = true;
   ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+    if (!go) return;
     const int d =
         block_of.empty()
             ? 0
@@ -55,7 +57,10 @@ void EnumerateRelationalGenerated(
         }
       }
       previous = mask;
-      if (contains(s)) cb(s, marks);
+      if (contains(s) && !cb(s, marks)) {
+        go = false;
+        return;
+      }
     }
   });
 }
@@ -72,8 +77,8 @@ bool AllStructuresClass::Contains(const Structure& s) const {
   return s.schema() == *schema_;
 }
 
-void AllStructuresClass::EnumerateGenerated(int m,
-                                            const EnumCallback& cb) const {
+void AllStructuresClass::EnumerateGeneratedUntil(
+    int m, const StopCallback& cb) const {
   EnumerateRelationalGenerated(
       schema_, m, [](const Structure&) { return true; }, cb);
 }
@@ -156,11 +161,14 @@ bool LinearOrderClass::Contains(const Structure& s) const {
   return IsStrictLinearOrder(s, kLess);
 }
 
-void LinearOrderClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
+void LinearOrderClass::EnumerateGeneratedUntil(int m,
+                                               const StopCallback& cb) const {
   // Direct enumeration: a partition of the marks into d classes plus a
   // linear order of the classes. (The generic enumerator would also work
   // but wastes 2^(d^2) candidates.)
+  bool go = true;
   ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+    if (!go) return;
     const int d =
         block_of.empty()
             ? 0
@@ -168,13 +176,14 @@ void LinearOrderClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
     std::vector<Elem> marks(m);
     for (int i = 0; i < m; ++i) marks[i] = static_cast<Elem>(block_of[i]);
     ForEachPermutation(d, [&](const std::vector<int>& position_of) {
+      if (!go) return;
       Structure s(schema_, d);
       for (Elem a = 0; a < static_cast<Elem>(d); ++a) {
         for (Elem b = 0; b < static_cast<Elem>(d); ++b) {
           if (position_of[a] < position_of[b]) s.SetHolds2(kLess, a, b);
         }
       }
-      cb(s, marks);
+      if (!cb(s, marks)) go = false;
     });
   });
 }
@@ -234,8 +243,11 @@ bool EquivalenceClass::Contains(const Structure& s) const {
   return IsEquivalenceRelation(s, kEquiv);
 }
 
-void EquivalenceClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
+void EquivalenceClass::EnumerateGeneratedUntil(int m,
+                                               const StopCallback& cb) const {
+  bool go = true;
   ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+    if (!go) return;
     const int d =
         block_of.empty()
             ? 0
@@ -244,13 +256,14 @@ void EquivalenceClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
     for (int i = 0; i < m; ++i) marks[i] = static_cast<Elem>(block_of[i]);
     // Group the d elements into equivalence classes.
     ForEachSetPartition(d, [&](const std::vector<int>& class_of) {
+      if (!go) return;
       Structure s(schema_, d);
       for (Elem a = 0; a < static_cast<Elem>(d); ++a) {
         for (Elem b = 0; b < static_cast<Elem>(d); ++b) {
           if (class_of[a] == class_of[b]) s.SetHolds2(kEquiv, a, b);
         }
       }
-      cb(s, marks);
+      if (!cb(s, marks)) go = false;
     });
   });
 }

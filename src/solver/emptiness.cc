@@ -1,290 +1,11 @@
 #include "solver/emptiness.h"
-#include <algorithm>
-
-#include <cassert>
-#include <queue>
-#include <stdexcept>
-#include <unordered_map>
 
 namespace amalgam {
 
-namespace {
-
-// Raw (non-canonical) fingerprint of a marked structure, used to memoize
-// canonicalization: identical projections show up for many joint members.
-std::string RawKey(const Structure& s, std::span<const Elem> marks) {
-  std::string key;
-  key.reserve(marks.size() + 8);
-  for (Elem m : marks) key.push_back(static_cast<char>(m));
-  key.push_back('\x02');
-  key += s.EncodeContent();
-  return key;
-}
-
-// Registry of small-configuration *shapes*: canonical (database, valuation)
-// pairs without the control state. A configuration is (state, shape id).
-struct ShapeRegistry {
-  std::vector<CanonicalForm> shapes;
-  std::unordered_map<std::string, int> by_canonical_key;
-  std::unordered_map<std::string, int> by_raw_key;
-
-  int Intern(const Structure& sub, std::span<const Elem> marks) {
-    std::string raw = RawKey(sub, marks);
-    auto raw_it = by_raw_key.find(raw);
-    if (raw_it != by_raw_key.end()) return raw_it->second;
-    CanonicalForm canon = Canonicalize(sub, marks);
-    auto it = by_canonical_key.find(canon.key);
-    int id;
-    if (it != by_canonical_key.end()) {
-      id = it->second;
-    } else {
-      id = static_cast<int>(shapes.size());
-      by_canonical_key.emplace(canon.key, id);
-      shapes.push_back(std::move(canon));
-    }
-    by_raw_key.emplace(std::move(raw), id);
-    return id;
-  }
-};
-
-// The generated substructure of `joint` at `marks`, canonicalized, as a
-// shape id.
-int InternProjection(ShapeRegistry& registry, const Structure& joint,
-                     std::span<const Elem> marks) {
-  SubstructureResult sub = GeneratedSubstructure(joint, marks);
-  std::vector<Elem> sub_marks(marks.size());
-  for (std::size_t i = 0; i < marks.size(); ++i) {
-    sub_marks[i] = sub.old_to_new[marks[i]];
-  }
-  return registry.Intern(sub.structure, sub_marks);
-}
-
-}  // namespace
-
-SolveResult SolveEmptiness(const DdsSystem& system, const FraisseClass& cls,
+SolveResult SolveEmptiness(const DdsSystem& system,
+                           const SolverBackend& backend,
                            const SolveOptions& options) {
-  if (!system.AllGuardsQuantifierFree()) {
-    throw std::invalid_argument(
-        "guards must be quantifier-free; run EliminateExistentials first");
-  }
-  if (!IsPrefixSchema(system.schema(), *cls.schema())) {
-    throw std::invalid_argument(
-        "the system's schema must be a prefix of the class's schema");
-  }
-  const int k = system.num_registers();
-  const int num_states = system.num_states();
-  SolveResult result;
-  ShapeRegistry registry;
-
-  // ---- Initial shapes: members generated by the k registers. ----
-  std::vector<int> initial_shapes;
-  cls.EnumerateGenerated(k, [&](const Structure& d,
-                                std::span<const Elem> marks) {
-    ++result.stats.members_enumerated;
-    initial_shapes.push_back(registry.Intern(d, marks));
-  });
-
-  // ---- Sub-transitions: one pass over the 2k-generated members. ----
-  // For each rule, a list of (old shape, new shape, witness index).
-  struct ShapeEdge {
-    int old_shape;
-    int new_shape;
-    int step;  // index into steps_pool
-  };
-  std::vector<SubTransition> steps_pool;
-  std::vector<std::vector<ShapeEdge>> rule_edges(system.rules().size());
-  // Deduplication per rule: (old_shape, new_shape) pairs already recorded.
-  std::vector<std::unordered_map<std::int64_t, int>> seen(
-      system.rules().size());
-
-  std::vector<Elem> valuation(2 * k);
-  cls.EnumerateGenerated(2 * k, [&](const Structure& d,
-                                    std::span<const Elem> marks) {
-    ++result.stats.members_enumerated;
-    for (int i = 0; i < 2 * k; ++i) valuation[i] = marks[i];
-    int old_shape = -1;
-    int new_shape = -1;
-    for (std::size_t r = 0; r < system.rules().size(); ++r) {
-      const TransitionRule& rule = system.rules()[r];
-      ++result.stats.guard_evaluations;
-      if (!EvalFormula(*rule.guard, d, valuation)) continue;
-      if (old_shape < 0) {
-        old_shape = InternProjection(
-            registry, d, std::span<const Elem>(marks.data(), k));
-        new_shape = InternProjection(
-            registry, d, std::span<const Elem>(marks.data() + k, k));
-      }
-      const std::int64_t pair_key =
-          static_cast<std::int64_t>(old_shape) * (1LL << 31) + new_shape;
-      if (seen[r].contains(pair_key)) continue;
-      int step = static_cast<int>(steps_pool.size());
-      steps_pool.push_back(SubTransition{
-          static_cast<int>(r), d,
-          std::vector<Elem>(marks.begin(), marks.end())});
-      seen[r].emplace(pair_key, step);
-      rule_edges[r].push_back(ShapeEdge{old_shape, new_shape, step});
-      ++result.stats.edges;
-    }
-  });
-  const int num_shapes = static_cast<int>(registry.shapes.size());
-  result.stats.configs =
-      static_cast<std::uint64_t>(num_shapes) * num_states;
-  if (result.stats.configs > options.max_configs) {
-    throw std::runtime_error(
-        "emptiness solver exceeded the configuration cap");
-  }
-
-  // Index rule edges by old shape for the BFS.
-  std::vector<std::vector<std::vector<const ShapeEdge*>>> by_old(
-      system.rules().size(),
-      std::vector<std::vector<const ShapeEdge*>>(num_shapes));
-  for (std::size_t r = 0; r < system.rules().size(); ++r) {
-    for (const ShapeEdge& e : rule_edges[r]) {
-      by_old[r][e.old_shape].push_back(&e);
-    }
-  }
-
-  // ---- BFS over (state, shape). ----
-  auto config_id = [&](int state, int shape) {
-    return shape * num_states + state;
-  };
-  constexpr int kUnvisited = -1;
-  constexpr int kRoot = -2;
-  // parent[c] = config id of predecessor; via_step[c] = step index used.
-  std::vector<int> parent(
-      static_cast<std::size_t>(num_shapes) * num_states, kUnvisited);
-  std::vector<int> via_step(parent.size(), -1);
-  std::queue<int> queue;
-  int goal = -1;
-  for (int q = 0; q < num_states && goal < 0; ++q) {
-    if (!system.is_initial(q)) continue;
-    for (int shape : initial_shapes) {
-      int c = config_id(q, shape);
-      if (parent[c] != kUnvisited) continue;
-      parent[c] = kRoot;
-      queue.push(c);
-      if (system.is_accepting(q)) {
-        goal = c;
-        break;
-      }
-    }
-  }
-  while (goal < 0 && !queue.empty()) {
-    int c = queue.front();
-    queue.pop();
-    const int state = c % num_states;
-    const int shape = c / num_states;
-    for (std::size_t r = 0; r < system.rules().size(); ++r) {
-      const TransitionRule& rule = system.rules()[r];
-      if (rule.from != state) continue;
-      for (const ShapeEdge* e : by_old[r][shape]) {
-        int next = config_id(rule.to, e->new_shape);
-        if (parent[next] != kUnvisited) continue;
-        parent[next] = c;
-        via_step[next] = e->step;
-        if (system.is_accepting(rule.to)) {
-          goal = next;
-          break;
-        }
-        queue.push(next);
-      }
-      if (goal >= 0) break;
-    }
-  }
-
-  if (goal < 0) {
-    result.nonempty = false;
-    return result;
-  }
-  result.nonempty = true;
-
-  // ---- Reconstruct the path of small configurations. ----
-  std::vector<int> config_path;
-  std::vector<int> step_path;
-  for (int c = goal; c != kRoot; c = parent[c]) {
-    config_path.push_back(c);
-    if (parent[c] != kRoot) step_path.push_back(via_step[c]);
-  }
-  std::reverse(config_path.begin(), config_path.end());
-  std::reverse(step_path.begin(), step_path.end());
-  for (int c : config_path) {
-    result.path.push_back(
-        SmallConfig{c % num_states, registry.shapes[c / num_states]});
-  }
-  for (int s : step_path) result.steps.push_back(steps_pool[s]);
-
-  if (!options.build_witness) return result;
-
-  // ---- Witness reconstruction: replay the soundness proof. ----
-  // Invariants: `big` is a member of C; `cur[c]` maps the canonical
-  // elements of the current configuration's shape into `big`;
-  // `valuations[i]` are the register contents of step i in `big`'s
-  // coordinates.
-  Structure big = result.path.front().form.structure;
-  std::vector<Elem> cur(big.size());
-  for (Elem e = 0; e < big.size(); ++e) cur[e] = e;
-  std::vector<std::vector<Elem>> valuations;
-  valuations.push_back(result.path.front().form.marks);
-
-  bool witness_ok = true;
-  for (std::size_t i = 0; i < result.steps.size() && witness_ok; ++i) {
-    const SubTransition& st = result.steps[i];
-    const Structure& joint = st.joint;
-    std::span<const Elem> old_marks(st.marks.data(), k);
-    std::span<const Elem> new_marks(st.marks.data() + k, k);
-    SubstructureResult old_sub = GeneratedSubstructure(joint, old_marks);
-    std::vector<Elem> old_sub_marks(k);
-    for (int j = 0; j < k; ++j) {
-      old_sub_marks[j] = old_sub.old_to_new[old_marks[j]];
-    }
-    CanonicalForm old_canon =
-        Canonicalize(old_sub.structure, old_sub_marks);
-    assert(old_canon.key == result.path[i].form.key);
-    // Map joint -> big over the common part (the old configuration).
-    std::vector<Elem> joint_to_big(joint.size(), kNoElem);
-    for (Elem sub_e = 0; sub_e < old_sub.structure.size(); ++sub_e) {
-      Elem joint_e = old_sub.new_to_old[sub_e];
-      joint_to_big[joint_e] = cur[old_canon.perm[sub_e]];
-    }
-    auto am = cls.Amalgamate(big, joint, joint_to_big);
-    if (!am.has_value()) {
-      witness_ok = false;
-      break;
-    }
-    big = std::move(am->structure);
-    // Remap all previous valuations through the (usually identity)
-    // embedding of the old big structure.
-    for (auto& v : valuations) {
-      for (Elem& e : v) e = am->embed_a[e];
-    }
-    // New current embedding: canonical elements of the new configuration's
-    // shape -> big.
-    SubstructureResult new_sub = GeneratedSubstructure(joint, new_marks);
-    std::vector<Elem> new_sub_marks(k);
-    for (int j = 0; j < k; ++j) {
-      new_sub_marks[j] = new_sub.old_to_new[new_marks[j]];
-    }
-    CanonicalForm new_canon =
-        Canonicalize(new_sub.structure, new_sub_marks);
-    assert(new_canon.key == result.path[i + 1].form.key);
-    cur.assign(new_sub.structure.size(), kNoElem);
-    for (Elem sub_e = 0; sub_e < new_sub.structure.size(); ++sub_e) {
-      cur[new_canon.perm[sub_e]] = am->embed_b[new_sub.new_to_old[sub_e]];
-    }
-    std::vector<Elem> val(k);
-    for (int j = 0; j < k; ++j) val[j] = cur[new_canon.marks[j]];
-    valuations.push_back(std::move(val));
-  }
-
-  if (witness_ok) {
-    ConcreteRun run;
-    for (std::size_t i = 0; i < result.path.size(); ++i) {
-      run.push_back(ConcreteConfig{result.path[i].state, valuations[i]});
-    }
-    result.witness_db = std::move(big);
-    result.witness_run = std::move(run);
-  }
-  return result;
+  return ExplorationEngine(system, backend, options).Run();
 }
 
 }  // namespace amalgam

@@ -1,81 +1,28 @@
-// The generic emptiness decision procedure of Theorem 5.
+// The generic emptiness decision procedure of Theorem 5, as a one-call
+// front door over the layered exploration engine (solver/engine.h).
 //
-// Given a database-driven system S with k registers and a Fraïssé class C,
-// the paper's nondeterministic algorithm walks over *small configurations*
-// — members of C generated by the register contents — connected by
-// *sub-transitions*: pairs of small configurations that jointly embed into
-// a member generated by both valuations in which some rule's guard holds.
-//
-// We determinize by materializing the sub-transition graph: one pass over
-// the members of C generated by 2k marks (old registers ++ new registers)
-// evaluates every rule's guard and projects each satisfying member onto its
-// old / new small configurations, which are deduplicated by canonical form.
-// BFS over this graph decides emptiness; the class's amalgamation operator
-// replays the soundness proof to produce a concrete witness database and an
+// The engine walks the graph of small configurations connected by
+// sub-transitions; by default it explores on-the-fly with early exit, and
+// SolveOptions::strategy = kEager restores the original
+// materialize-then-BFS pipeline. The class's amalgamation operator replays
+// the soundness proof to produce a concrete witness database and an
 // accepting run, which callers can re-validate with the concrete semantics.
 #ifndef AMALGAM_SOLVER_EMPTINESS_H_
 #define AMALGAM_SOLVER_EMPTINESS_H_
 
-#include <cstdint>
-#include <optional>
-#include <vector>
-
-#include "base/canonical.h"
-#include "fraisse/fraisse_class.h"
-#include "system/concrete.h"
+#include "solver/backend.h"
+#include "solver/engine.h"
 #include "system/dds.h"
 
 namespace amalgam {
 
-/// A small configuration: control state + canonical (database, valuation).
-struct SmallConfig {
-  int state = -1;
-  CanonicalForm form;
-};
-
-/// One sub-transition along the witness path: the rule used and the joint
-/// member of C (with its 2k-mark tuple) in which the guard held.
-struct SubTransition {
-  int rule = -1;
-  Structure joint;
-  std::vector<Elem> marks;  // old valuation ++ new valuation
-};
-
-/// Counters for the complexity experiments.
-struct SolveStats {
-  std::uint64_t members_enumerated = 0;  // candidates from the class
-  std::uint64_t guard_evaluations = 0;
-  std::uint64_t edges = 0;               // distinct sub-transitions
-  std::uint64_t configs = 0;             // distinct small configurations
-};
-
-struct SolveOptions {
-  /// Reconstruct a concrete witness database + run on success.
-  bool build_witness = true;
-  /// Abort (throwing std::runtime_error) if more configurations than this
-  /// are discovered — a guard against mis-specified classes.
-  std::uint64_t max_configs = 1 << 22;
-};
-
-struct SolveResult {
-  /// True iff some database in the class drives an accepting run.
-  bool nonempty = false;
-  /// The path of small configurations (nonempty verdicts only).
-  std::vector<SmallConfig> path;
-  /// The sub-transitions along the path (path.size() - 1 entries).
-  std::vector<SubTransition> steps;
-  /// Concrete witness (requires build_witness and a class that implements
-  /// Amalgamate; nullopt otherwise).
-  std::optional<Structure> witness_db;
-  std::optional<ConcreteRun> witness_run;
-  SolveStats stats;
-};
-
-/// Decides emptiness of `system` over the class `cls`. The system's schema
-/// must be a prefix of cls.schema() (Lemma 6: extra symbols in the class's
-/// schema are invisible to quantifier-free guards). All guards must be
-/// quantifier-free (apply EliminateExistentials first).
-SolveResult SolveEmptiness(const DdsSystem& system, const FraisseClass& cls,
+/// Decides emptiness of `system` over the backend class `backend` (any
+/// FraisseClass, including the word/tree run-pattern classes). The system's
+/// schema must be a prefix of backend.schema() (Lemma 6: extra symbols in
+/// the class's schema are invisible to quantifier-free guards). All guards
+/// must be quantifier-free (apply EliminateExistentials first).
+SolveResult SolveEmptiness(const DdsSystem& system,
+                           const SolverBackend& backend,
                            const SolveOptions& options = {});
 
 }  // namespace amalgam

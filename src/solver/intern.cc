@@ -1,0 +1,65 @@
+#include "solver/intern.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace amalgam {
+
+namespace {
+
+// Raw (non-canonical) fingerprint of a marked structure. Marks are encoded
+// full-width so identical fingerprints are identical marked structures
+// (same content bytes, same mark tuple) — the memo is exact, not heuristic.
+std::string RawKey(const Structure& s, std::span<const Elem> marks) {
+  std::string key;
+  key.reserve(4 * marks.size() + 8);
+  for (Elem m : marks) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      key.push_back(static_cast<char>((m >> shift) & 0xff));
+    }
+  }
+  key.push_back('\x02');
+  key += s.EncodeContent();
+  return key;
+}
+
+}  // namespace
+
+int ConfigInterner::InternCanonical(CanonicalForm canon) {
+  std::vector<int>& bucket = by_canonical_hash_[canon.hash];
+  for (int id : bucket) {
+    if (shapes_[id] == canon) return id;
+  }
+  const int id = static_cast<int>(shapes_.size());
+  bucket.push_back(id);
+  shapes_.push_back(std::move(canon));
+  return id;
+}
+
+int ConfigInterner::Intern(const Structure& s, std::span<const Elem> marks) {
+  std::string raw = RawKey(s, marks);
+  const std::size_t raw_hash = HashRange(raw.begin(), raw.end());
+  std::vector<RawEntry>& bucket = by_raw_hash_[raw_hash];
+  for (const RawEntry& entry : bucket) {
+    if (entry.key == raw) {
+      ++raw_hits_;
+      return entry.id;
+    }
+  }
+  const int id = InternCanonical(Canonicalize(s, marks));
+  bucket.push_back(RawEntry{std::move(raw), id});
+  return id;
+}
+
+int ConfigInterner::InternProjection(const Structure& joint,
+                                     std::span<const Elem> marks) {
+  SubstructureResult sub = GeneratedSubstructure(joint, marks);
+  std::vector<Elem> sub_marks(marks.size());
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    sub_marks[i] = sub.old_to_new[marks[i]];
+  }
+  return Intern(sub.structure, sub_marks);
+}
+
+}  // namespace amalgam

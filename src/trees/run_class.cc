@@ -229,7 +229,8 @@ bool TreeRunClass::Contains(const Structure& s) const {
   return p.has_value() && oracle_.PatternInClass(*p);
 }
 
-void TreeRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
+void TreeRunClass::EnumerateGeneratedUntil(int m,
+                                           const StopCallback& cb) const {
   const int q_count = automaton_->num_states();
   // Transitive child-reachability for pruning edge assignments.
   std::vector<std::vector<bool>> reach(q_count,
@@ -245,7 +246,9 @@ void TreeRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
     }
   }
 
+  bool go = true;
   ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+    if (!go) return;
     const int d =
         block_of.empty()
             ? 0
@@ -253,7 +256,7 @@ void TreeRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
     if (d == 0) {
       Structure empty(schema_, 0);
       std::vector<Elem> no_marks;
-      cb(empty, no_marks);
+      if (!cb(empty, no_marks)) go = false;
       return;
     }
     const int cap = m + extra_cap_;
@@ -291,19 +294,21 @@ void TreeRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
               if (valid[x].empty()) return;
             }
             std::function<void(int)> flags = [&](int w) {
+              if (!go) return;
               if (w == p.size()) {
-                EmitWithMarks(p, block_of, d, cb);
+                if (!EmitWithMarks(p, block_of, d, cb)) go = false;
                 return;
               }
               for (bool flag : valid[w]) {
                 p.cmax[w] = flag;
                 flags(w + 1);
+                if (!go) return;
               }
             };
             flags(0);
             return;
           }
-          for (int q = 0; q < q_count; ++q) {
+          for (int q = 0; q < q_count && go; ++q) {
             if (!automaton_->Productive(q)) continue;
             if (v == 0 && !automaton_->is_root(q)) continue;
             if (v > 0 && !reach[p.state[p.parent[v]]][q]) continue;
@@ -314,7 +319,7 @@ void TreeRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
         states(0);
         return;
       }
-      for (int par = 0; par < next; ++par) {
+      for (int par = 0; par < next && go; ++par) {
         p.AddNode(par, 0, false);
         build(size, next + 1);
         p.parent.pop_back();
@@ -324,7 +329,7 @@ void TreeRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
         p.children[par].pop_back();
       }
     };
-    for (int size = d; size <= cap; ++size) {
+    for (int size = d; size <= cap && go; ++size) {
       p = TreePattern{};
       p.AddNode(-1, 0, false);
       build(size, 1);
@@ -332,9 +337,9 @@ void TreeRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
   });
 }
 
-void TreeRunClass::EmitWithMarks(
+bool TreeRunClass::EmitWithMarks(
     const TreePattern& p, const std::vector<int>& block_of, int d,
-    const EnumCallback& cb) const {
+    const StopCallback& cb) const {
   // Generation: the closure of the marked nodes under cca and the intrinsic
   // pointers must cover the whole pattern. Try every injection of the d
   // mark blocks into the pattern nodes.
@@ -379,17 +384,19 @@ void TreeRunClass::EmitWithMarks(
   Structure encoded = PatternToStructure(p);
   std::vector<int> slot_of_block(d);
   std::vector<bool> used(s, false);
+  bool go = true;
   std::function<void(int)> place = [&](int b) {
+    if (!go) return;
     if (b == d) {
       if (!closure_covers(slot_of_block)) return;
       std::vector<Elem> marks(block_of.size());
       for (std::size_t i = 0; i < block_of.size(); ++i) {
         marks[i] = static_cast<Elem>(slot_of_block[block_of[i]]);
       }
-      cb(encoded, marks);
+      if (!cb(encoded, marks)) go = false;
       return;
     }
-    for (int v = 0; v < s; ++v) {
+    for (int v = 0; v < s && go; ++v) {
       if (used[v]) continue;
       used[v] = true;
       slot_of_block[b] = v;
@@ -398,6 +405,7 @@ void TreeRunClass::EmitWithMarks(
     }
   };
   place(0);
+  return go;
 }
 
 }  // namespace amalgam

@@ -34,7 +34,7 @@ class TreeRunClass : public FraisseClass {
   std::uint64_t Blowup(int n) const override {
     return static_cast<std::uint64_t>(n) + extra_cap_;
   }
-  void EnumerateGenerated(int m, const EnumCallback& cb) const override;
+  void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;
   /// Not supported (tree witnesses come from trees/solve.h's bounded
   /// search); returns nullopt.
   std::optional<AmalgamResult> Amalgamate(
@@ -53,8 +53,9 @@ class TreeRunClass : public FraisseClass {
       const Structure& s, std::vector<Elem>* order_out = nullptr) const;
 
  private:
-  void EmitWithMarks(const TreePattern& p, const std::vector<int>& block_of,
-                     int d, const EnumCallback& cb) const;
+  /// Returns false when `cb` requested a stop.
+  bool EmitWithMarks(const TreePattern& p, const std::vector<int>& block_of,
+                     int d, const StopCallback& cb) const;
 
   const TreeAutomaton* automaton_;
   TreePatternOracle oracle_;

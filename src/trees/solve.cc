@@ -7,7 +7,8 @@ namespace amalgam {
 TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
                                    const TreeAutomaton& automaton,
                                    int witness_size_cap,
-                                   int extra_pattern_cap) {
+                                   int extra_pattern_cap,
+                                   SolveStrategy strategy) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "tree emptiness requires at least one register");
@@ -15,6 +16,7 @@ TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
   TreeRunClass cls(&automaton, extra_pattern_cap);
   SolveOptions options;
   options.build_witness = false;  // no generic amalgamation for trees
+  options.strategy = strategy;
   SolveResult generic = SolveEmptiness(system, cls, options);
   TreeSolveResult result;
   result.nonempty = generic.nonempty;

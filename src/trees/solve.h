@@ -31,11 +31,12 @@ struct TreeSolveResult {
 /// Decides: is there a tree t accepted by `automaton` such that `system`
 /// (over the automaton's TreeSchema) has an accepting run driven by
 /// Treedb(t)? `witness_size_cap` bounds the post-hoc concrete witness
-/// search (0 disables it).
-TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
-                                   const TreeAutomaton& automaton,
-                                   int witness_size_cap = 6,
-                                   int extra_pattern_cap = 4);
+/// search (0 disables it). Routes through the shared exploration engine;
+/// `strategy` selects on-the-fly (default) or the eager reference pipeline.
+TreeSolveResult SolveTreeEmptiness(
+    const DdsSystem& system, const TreeAutomaton& automaton,
+    int witness_size_cap = 6, int extra_pattern_cap = 4,
+    SolveStrategy strategy = SolveStrategy::kOnTheFly);
 
 /// Brute force: tries every tree with up to `max_size` nodes.
 std::optional<TreeWitness> BruteForceTreeSearch(const DdsSystem& system,

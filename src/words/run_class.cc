@@ -181,9 +181,12 @@ bool WordRunClass::Contains(const Structure& s) const {
   return p.has_value() && PatternInClass(*p);
 }
 
-void WordRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
+void WordRunClass::EnumerateGeneratedUntil(int m,
+                                           const StopCallback& cb) const {
   const int max_extra = 2 * num_components_;
+  bool go = true;
   ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
+    if (!go) return;
     const int d =
         block_of.empty()
             ? 0
@@ -192,10 +195,10 @@ void WordRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
       // Empty pattern, generated by the empty tuple.
       Structure empty(schema_, 0);
       std::vector<Elem> no_marks;
-      cb(empty, no_marks);
+      if (!cb(empty, no_marks)) go = false;
       return;
     }
-    for (int s = d; s <= d + max_extra; ++s) {
+    for (int s = d; s <= d + max_extra && go; ++s) {
       // slot_of_block: injection block -> slot.
       std::vector<int> slot_of_block(d);
       std::vector<bool> used(s, false);
@@ -238,15 +241,16 @@ void WordRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
         for (int i = 0; i < m; ++i) {
           marks[i] = static_cast<Elem>(slot_of_block[block_of[i]]);
         }
-        cb(structure, marks);
+        if (!cb(structure, marks)) go = false;
       };
 
       std::function<void(int)> assign_states = [&](int i) {
+        if (!go) return;
         if (i == s) {
           emit();
           return;
         }
-        for (int q = 0; q < nfa_.num_states(); ++q) {
+        for (int q = 0; q < nfa_.num_states() && go; ++q) {
           p.states[i] = q;
           assign_states(i + 1);
         }
@@ -254,11 +258,12 @@ void WordRunClass::EnumerateGenerated(int m, const EnumCallback& cb) const {
       };
 
       std::function<void(int)> place_blocks = [&](int b) {
+        if (!go) return;
         if (b == d) {
           assign_states(0);
           return;
         }
-        for (int slot = 0; slot < s; ++slot) {
+        for (int slot = 0; slot < s && go; ++slot) {
           if (used[slot]) continue;
           used[slot] = true;
           slot_of_block[b] = slot;

@@ -55,7 +55,7 @@ class WordRunClass : public FraisseClass {
   std::uint64_t Blowup(int n) const override {
     return n + 2ULL * num_components_;
   }
-  void EnumerateGenerated(int m, const EnumCallback& cb) const override;
+  void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;
   /// Merges the two patterns (brute-force over interleavings, validated by
   /// membership + pointer-consistent embeddings) and completes the result
   /// to a full accepting run, so that the accumulated witness projects to a

@@ -5,7 +5,8 @@
 namespace amalgam {
 
 WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
-                                   bool build_witness) {
+                                   bool build_witness,
+                                   SolveStrategy strategy) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "word emptiness requires at least one register");
@@ -13,6 +14,7 @@ WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
   WordRunClass cls(nfa);
   SolveOptions options;
   options.build_witness = build_witness;
+  options.strategy = strategy;
   SolveResult generic = SolveEmptiness(system, cls, options);
   WordSolveResult result;
   result.nonempty = generic.nonempty;

@@ -32,9 +32,11 @@ struct WordSolveResult {
 /// MakeWordSchema of the automaton's alphabet) has an accepting run driven
 /// by Worddb(w)? Requires at least one register (the paper's Lemma 11
 /// anchor argument; with zero registers the problem degenerates to graph
-/// reachability anyway).
-WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
-                                   bool build_witness = true);
+/// reachability anyway). Routes through the shared exploration engine;
+/// `strategy` selects on-the-fly (default) or the eager reference pipeline.
+WordSolveResult SolveWordEmptiness(
+    const DdsSystem& system, const Nfa& nfa, bool build_witness = true,
+    SolveStrategy strategy = SolveStrategy::kOnTheFly);
 
 /// Brute-force reference: tries every word of length 1..max_len, returning
 /// the first word of the language driving an accepting run.
