@@ -4,7 +4,14 @@
 // atomic diagrams over 2k marks).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "fraisse/relational.h"
+#include "solver/cache.h"
 #include "solver/emptiness.h"
 #include "system/zoo.h"
 
@@ -72,6 +79,33 @@ BENCHMARK(BM_StrategyComparison)
     ->ArgNames({"states", "onthefly"})
     ->Unit(benchmark::kMillisecond);
 
+// Cross-query caching: the first query builds the complete sub-transition
+// graph and stores it in a GraphCache; the steady state measured here is a
+// pure BFS over interned shape ids — `members` stays 0.
+void BM_CachedQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DdsSystem system = ChainSystem(n, 1);
+  AllStructuresClass cls(GraphZooSchema());
+  GraphCache cache;
+  SolveOptions options;
+  options.build_witness = false;
+  options.cache = &cache;
+  // Warm the cache so every measured iteration is a hit.
+  SolveResult last = SolveEmptiness(system, cls, options);
+  for (auto _ : state) {
+    last = SolveEmptiness(system, cls, options);
+    benchmark::DoNotOptimize(last.nonempty);
+  }
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+  state.counters["cache_hits"] = static_cast<double>(cache.hits());
+}
+BENCHMARK(BM_CachedQuery)
+    ->RangeMultiplier(4)
+    ->Range(4, 64)
+    ->ArgNames({"states"})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RegistersSweep(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   DdsSystem system = ChainSystem(3, k);
@@ -115,9 +149,87 @@ BENCHMARK(BM_RegistersUnarySchema)->DenseRange(1, 4)->Unit(benchmark::kMilliseco
 }  // namespace
 }  // namespace amalgam
 
+namespace {
+
+struct BenchRow {
+  std::string name;
+  double real_time = 0;
+};
+
+// Minimal extraction from google-benchmark's pretty-printed JSON: each
+// benchmark object opens with its "name" line and later carries a
+// "real_time" line; aggregate rows repeat the pattern and are kept too
+// (their names are distinct). No JSON library is available in-tree, and
+// these two keys are all the trajectory needs.
+std::vector<BenchRow> ParseBenchJson(const std::string& path) {
+  std::vector<BenchRow> rows;
+  std::ifstream in(path);
+  if (!in) return rows;
+  std::string line;
+  std::string pending_name;
+  auto trimmed = [](const std::string& s) {
+    const std::size_t b = s.find_first_not_of(" \t");
+    return b == std::string::npos ? std::string() : s.substr(b);
+  };
+  while (std::getline(in, line)) {
+    const std::string t = trimmed(line);
+    if (t.rfind("\"name\":", 0) == 0) {
+      const std::size_t open = t.find('"', 7);
+      const std::size_t close =
+          open == std::string::npos ? std::string::npos : t.find('"', open + 1);
+      if (close != std::string::npos) {
+        pending_name = t.substr(open + 1, close - open - 1);
+      }
+    } else if (t.rfind("\"real_time\":", 0) == 0 && !pending_name.empty()) {
+      rows.push_back(BenchRow{pending_name, std::atof(t.c_str() + 12)});
+      pending_name.clear();
+    }
+  }
+  return rows;
+}
+
+// Prints the per-benchmark delta of the fresh run against the committed
+// baseline (bench/e2_baseline.json) — the perf trajectory successive PRs
+// compare against. Refresh the baseline by copying a fresh BENCH_e2.json
+// over it.
+void PrintBaselineDelta(const std::string& fresh_path,
+                        const std::string& baseline_path) {
+  std::vector<BenchRow> fresh = ParseBenchJson(fresh_path);
+  std::vector<BenchRow> baseline = ParseBenchJson(baseline_path);
+  if (fresh.empty()) return;
+  if (baseline.empty()) {
+    std::printf("\nNo baseline at %s; commit a fresh BENCH_e2.json there to "
+                "start the trajectory.\n",
+                baseline_path.c_str());
+    return;
+  }
+  std::printf("\nDelta vs committed baseline (%s), real time [ms]:\n",
+              baseline_path.c_str());
+  for (const BenchRow& row : fresh) {
+    const BenchRow* prev = nullptr;
+    for (const BenchRow& b : baseline) {
+      if (b.name == row.name) {
+        prev = &b;
+        break;
+      }
+    }
+    if (!prev) {
+      std::printf("  %-44s %31s %10.3f\n", row.name.c_str(), "(new)",
+                  row.real_time);
+    } else if (prev->real_time > 0) {
+      std::printf("  %-44s %10.3f -> %10.3f  (%+6.1f%%)\n", row.name.c_str(),
+                  prev->real_time, row.real_time,
+                  100.0 * (row.real_time - prev->real_time) / prev->real_time);
+    }
+  }
+}
+
+}  // namespace
+
 // Custom main: emit machine-readable JSON (BENCH_e2.json) by default so
-// successive PRs accumulate a perf trajectory; explicit --benchmark_out
-// flags still win.
+// successive PRs accumulate a perf trajectory, and print the delta against
+// the committed baseline; explicit --benchmark_out flags still win (and
+// skip the comparison).
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
@@ -142,5 +254,12 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!has_out) {
+#ifdef AMALGAM_E2_BASELINE
+    PrintBaselineDelta("BENCH_e2.json", AMALGAM_E2_BASELINE);
+#else
+    PrintBaselineDelta("BENCH_e2.json", "../bench/e2_baseline.json");
+#endif
+  }
   return 0;
 }

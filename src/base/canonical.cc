@@ -143,8 +143,8 @@ CanonicalForm Canonicalize(const Structure& s, std::span<const Elem> marks) {
         renamed_marks[i] = perm[marks[i]];
       }
       std::string key;
-      key.reserve(marks.size() + 8);
-      for (Elem m : renamed_marks) key.push_back(static_cast<char>(m));
+      key.reserve(4 * marks.size() + 8);
+      for (Elem m : renamed_marks) AppendFullWidth(key, m);
       key.push_back('\x01');
       key += renamed.EncodeContent();
       if (!have_best || key < best_key) {

@@ -77,6 +77,26 @@ bool Schema::ContainsAllSymbolsOf(const Schema& other) const {
   return true;
 }
 
+std::string Schema::Fingerprint() const {
+  // Uniquely decodable from the front: every digit run (counts, name
+  // lengths, arities) ends at a non-digit terminator, and names are
+  // length-prefixed — without the ';' terminators, "R1" + a name length
+  // of 110 parses identically to "R11" + a length of 0.
+  std::string fp = "R" + std::to_string(num_relations()) + ";";
+  auto append_symbol = [&fp](const Symbol& s) {
+    fp += std::to_string(s.name.size());
+    fp += ':';
+    fp += s.name;
+    fp += '/';
+    fp += std::to_string(s.arity);
+    fp += ';';
+  };
+  for (const Symbol& s : relations_) append_symbol(s);
+  fp += "F" + std::to_string(num_functions()) + ";";
+  for (const Symbol& s : functions_) append_symbol(s);
+  return fp;
+}
+
 std::string Schema::ToString() const {
   std::ostringstream os;
   os << "schema{";

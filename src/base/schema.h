@@ -61,6 +61,13 @@ class Schema {
 
   std::string ToString() const;
 
+  /// An injection-safe serialization for cache keys: every symbol name is
+  /// length-prefixed and every digit run (counts, lengths, arities) ends at
+  /// an explicit terminator, so the encoding decodes uniquely and no choice
+  /// of names can make two different schemas serialize identically (unlike
+  /// ToString, whose separators a crafted name could imitate).
+  std::string Fingerprint() const;
+
  private:
   std::vector<Symbol> relations_;
   std::vector<Symbol> functions_;

@@ -145,12 +145,15 @@ Structure Structure::ApplyPermutation(std::span<const Elem> perm) const {
 
 std::string Structure::EncodeContent() const {
   std::string out;
-  out.push_back(static_cast<char>(n_));
+  // Domain size and function values are varint-encoded: single-byte
+  // encodings alias as soon as a value reaches 256, which silently merges
+  // distinct structures in every key built on top of this encoding.
+  AppendFullWidth(out, static_cast<std::uint32_t>(n_));
   for (const auto& table : rel_tables_) {
     out.append(reinterpret_cast<const char*>(table.data()), table.size());
   }
   for (const auto& table : fn_tables_) {
-    for (Elem value : table) out.push_back(static_cast<char>(value));
+    for (Elem value : table) AppendFullWidth(out, value);
   }
   return out;
 }

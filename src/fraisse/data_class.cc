@@ -49,6 +49,12 @@ DataClass::DataClass(std::shared_ptr<const FraisseClass> base,
   schema_ = MakeSchema(std::move(extended));
 }
 
+std::string DataClass::Fingerprint() const {
+  return std::string("data|") +
+         (domain_ == DataDomain::kNaturalsWithEquality ? "deq" : "dlt") +
+         (injective_ ? "|injective|" : "|arbitrary|") + base_->Fingerprint();
+}
+
 bool DataClass::DataPartValid(const Structure& s) const {
   const Elem n = static_cast<Elem>(s.size());
   if (domain_ == DataDomain::kNaturalsWithEquality) {

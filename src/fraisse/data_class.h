@@ -39,6 +39,7 @@ class DataClass : public FraisseClass {
             bool injective);
 
   const SchemaRef& schema() const override { return schema_; }
+  std::string Fingerprint() const override;
   bool Contains(const Structure& s) const override;
   std::uint64_t Blowup(int n) const override { return base_->Blowup(n); }
   void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;

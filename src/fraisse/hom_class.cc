@@ -16,6 +16,12 @@ HomClass::HomClass(Structure template_db)
   }
 }
 
+std::string HomClass::Fingerprint() const {
+  // EncodeContent is unambiguous given the schema (fixed-width fields), so
+  // schema fingerprint + content cannot be imitated by another template.
+  return "hom|" + schema_->Fingerprint() + "|" + template_.EncodeContent();
+}
+
 bool HomClass::Contains(const Structure& s) const {
   return FindHomomorphism(s, template_).has_value();
 }
@@ -47,6 +53,11 @@ Elem LiftedHomClass::ColorOf(const Structure& s, Elem e) const {
     }
   }
   return color;
+}
+
+std::string LiftedHomClass::Fingerprint() const {
+  return "hom-lift|" + schema_->Fingerprint() + "|" +
+         template_.EncodeContent();
 }
 
 bool LiftedHomClass::Contains(const Structure& s) const {

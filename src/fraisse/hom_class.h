@@ -20,6 +20,7 @@ class HomClass : public FraisseClass {
  public:
   explicit HomClass(Structure template_db);
   const SchemaRef& schema() const override { return schema_; }
+  std::string Fingerprint() const override;
   bool Contains(const Structure& s) const override;
   std::uint64_t Blowup(int n) const override { return n; }
   void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;
@@ -39,6 +40,7 @@ class LiftedHomClass : public FraisseClass {
  public:
   explicit LiftedHomClass(Structure template_db);
   const SchemaRef& schema() const override { return schema_; }
+  std::string Fingerprint() const override;
   bool Contains(const Structure& s) const override;
   std::uint64_t Blowup(int n) const override { return n; }
   void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;

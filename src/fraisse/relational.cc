@@ -73,6 +73,10 @@ AllStructuresClass::AllStructuresClass(SchemaRef schema)
   }
 }
 
+std::string AllStructuresClass::Fingerprint() const {
+  return "all-structures|" + schema_->Fingerprint();
+}
+
 bool AllStructuresClass::Contains(const Structure& s) const {
   return s.schema() == *schema_;
 }

@@ -1,11 +1,8 @@
 #include "solver/branching.h"
 
-#include <cassert>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
-
-#include "base/canonical.h"
 
 namespace amalgam {
 
@@ -20,61 +17,23 @@ void BranchingSystem::AddRule(
   rules_.push_back(std::move(rule));
 }
 
-namespace {
-
-std::string RawKey(const Structure& s, std::span<const Elem> marks) {
-  std::string key;
-  key.reserve(marks.size() + 8);
-  for (Elem m : marks) key.push_back(static_cast<char>(m));
-  key.push_back('\x02');
-  key += s.EncodeContent();
-  return key;
+void BranchingSystem::AddRule(int from, std::vector<Branch> branches) {
+  rules_.push_back(BranchingRule{from, std::move(branches)});
 }
-
-struct ShapeRegistry {
-  std::vector<CanonicalForm> shapes;
-  std::unordered_map<std::string, int> by_canonical_key;
-  std::unordered_map<std::string, int> by_raw_key;
-
-  int Intern(const Structure& sub, std::span<const Elem> marks) {
-    std::string raw = RawKey(sub, marks);
-    auto raw_it = by_raw_key.find(raw);
-    if (raw_it != by_raw_key.end()) return raw_it->second;
-    CanonicalForm canon = Canonicalize(sub, marks);
-    auto it = by_canonical_key.find(canon.key);
-    int id;
-    if (it != by_canonical_key.end()) {
-      id = it->second;
-    } else {
-      id = static_cast<int>(shapes.size());
-      by_canonical_key.emplace(canon.key, id);
-      shapes.push_back(std::move(canon));
-    }
-    by_raw_key.emplace(std::move(raw), id);
-    return id;
-  }
-};
-
-int InternProjection(ShapeRegistry& registry, const Structure& joint,
-                     std::span<const Elem> marks) {
-  SubstructureResult sub = GeneratedSubstructure(joint, marks);
-  std::vector<Elem> sub_marks(marks.size());
-  for (std::size_t i = 0; i < marks.size(); ++i) {
-    sub_marks[i] = sub.old_to_new[marks[i]];
-  }
-  return registry.Intern(sub.structure, sub_marks);
-}
-
-}  // namespace
 
 BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
-                                             const FraisseClass& cls) {
+                                             const FraisseClass& cls,
+                                             GraphCache* cache) {
   const DdsSystem& skel = system.skeleton();
+  // The guard set, flattened in (rule, branch) order: the graph's guard
+  // indices are flattened branch ids.
+  std::vector<FormulaRef> guards;
   for (const BranchingRule& rule : system.rules()) {
     for (const Branch& branch : rule.branches) {
       if (!branch.guard->IsQuantifierFree()) {
         throw std::invalid_argument("branching guards must be QF");
       }
+      guards.push_back(branch.guard);
     }
   }
   if (!IsPrefixSchema(skel.schema(), *cls.schema())) {
@@ -83,51 +42,37 @@ BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
   }
   const int k = skel.num_registers();
   BranchingSolveResult result;
-  ShapeRegistry registry;
 
-  std::vector<int> initial_shapes;
-  cls.EnumerateGenerated(k, [&](const Structure& d,
-                                std::span<const Elem> marks) {
-    ++result.stats.members_enumerated;
-    initial_shapes.push_back(registry.Intern(d, marks));
-  });
-
-  // Edge sets, per (rule, branch): old_shape -> set of new_shapes.
-  std::size_t num_branches = 0;
-  for (const BranchingRule& rule : system.rules()) {
-    num_branches += rule.branches.size();
+  // The sub-transition graph: cache-served, or built eagerly (backward
+  // fixpoints need the complete graph) and stored for the next query.
+  std::shared_ptr<const SubTransitionGraph> graph;
+  std::string cache_key;
+  if (cache) {
+    cache_key = GraphCache::Key(cls, k, guards);
+    graph = cache->Lookup(cache_key);
+    result.stats.graph_from_cache = graph != nullptr;
   }
-  std::vector<std::unordered_map<int, std::unordered_set<int>>> edges(
-      num_branches);
-  std::vector<Elem> valuation(2 * k);
-  cls.EnumerateGenerated(2 * k, [&](const Structure& d,
-                                    std::span<const Elem> marks) {
-    ++result.stats.members_enumerated;
-    for (int i = 0; i < 2 * k; ++i) valuation[i] = marks[i];
-    int old_shape = -1, new_shape = -1;
-    std::size_t branch_index = 0;
-    for (const BranchingRule& rule : system.rules()) {
-      for (const Branch& branch : rule.branches) {
-        ++result.stats.guard_evaluations;
-        if (EvalFormula(*branch.guard, d, valuation)) {
-          if (old_shape < 0) {
-            old_shape = InternProjection(
-                registry, d, std::span<const Elem>(marks.data(), k));
-            new_shape = InternProjection(
-                registry, d, std::span<const Elem>(marks.data() + k, k));
-          }
-          if (edges[branch_index][old_shape].insert(new_shape).second) {
-            ++result.stats.edges;
-          }
-        }
-        ++branch_index;
-      }
-    }
-  });
-  const int num_shapes = static_cast<int>(registry.shapes.size());
+  if (!graph) {
+    auto built = std::make_shared<SubTransitionGraph>(guards, k);
+    built->BuildFull(cls, result.stats);
+    if (cache) cache->Insert(cache_key, built);
+    graph = std::move(built);
+  }
+
+  const int num_shapes = graph->num_shapes();
   const int num_states = skel.num_states();
+  result.stats.edges = graph->num_edges();
   result.stats.configs =
       static_cast<std::uint64_t>(num_shapes) * num_states;
+
+  // Per-branch adjacency view: old_shape -> new shapes.
+  std::size_t num_branches = guards.size();
+  std::vector<std::unordered_map<int, std::vector<int>>> edges(num_branches);
+  for (int s = 0; s < num_shapes; ++s) {
+    for (const SubTransitionGraph::Edge& e : graph->edges_from(s)) {
+      edges[e.guard][s].push_back(e.new_shape);
+    }
+  }
 
   // Backward least fixpoint: alive(state, shape).
   std::vector<char> alive(static_cast<std::size_t>(num_shapes) * num_states,
@@ -171,7 +116,7 @@ BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
 
   for (int q = 0; q < num_states && !result.nonempty; ++q) {
     if (!skel.is_initial(q)) continue;
-    for (int s : initial_shapes) {
+    for (int s : graph->initial_shapes()) {
       if (alive[idx(q, s)]) {
         result.nonempty = true;
         break;

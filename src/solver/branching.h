@@ -6,13 +6,17 @@
 // configuration, so a backward least fixpoint over small configurations
 // ("alive" = accepting or some rule with all branches leading to alive
 // configurations) decides the problem on the same sub-transition relation
-// the linear solver builds.
+// the linear solver builds — and since the port onto SubTransitionGraph it
+// literally is the same relation: one shared interner, one edge store,
+// labeled by flattened branch index instead of rule id, cacheable across
+// queries through the same GraphCache.
 #ifndef AMALGAM_SOLVER_BRANCHING_H_
 #define AMALGAM_SOLVER_BRANCHING_H_
 
 #include <vector>
 
 #include "fraisse/fraisse_class.h"
+#include "solver/cache.h"
 #include "solver/emptiness.h"
 #include "system/dds.h"
 
@@ -48,6 +52,9 @@ class BranchingSystem {
   /// Adds a branching rule; guards in parser syntax.
   void AddRule(int from, const std::vector<std::pair<std::string, int>>&
                              guarded_targets);
+  /// Adds a branching rule with already-built guards (used to mirror an
+  /// ordinary DdsSystem rule-for-rule, e.g. by the differential tests).
+  void AddRule(int from, std::vector<Branch> branches);
 
   const DdsSystem& skeleton() const { return skeleton_; }
   const std::vector<BranchingRule>& rules() const { return rules_; }
@@ -63,9 +70,13 @@ struct BranchingSolveResult {
 };
 
 /// Decides: is there a database in `cls` driving a finite accepting run
-/// tree of `system`?
+/// tree of `system`? Routes through the shared SubTransitionGraph (the
+/// same interner and edge store as the linear engine); when `cache` is
+/// given, a complete graph for (class fingerprint, k, guard set) is reused
+/// or stored, so a repeated query reports stats.members_enumerated == 0.
 BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
-                                             const FraisseClass& cls);
+                                             const FraisseClass& cls,
+                                             GraphCache* cache = nullptr);
 
 }  // namespace amalgam
 

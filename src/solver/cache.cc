@@ -1,0 +1,57 @@
+#include "solver/cache.h"
+
+#include <stdexcept>
+
+namespace amalgam {
+
+std::string GraphCache::Key(const SolverBackend& backend, int k,
+                            std::span<const FormulaRef> guards) {
+  // The fingerprint is length-prefixed so the key decodes uniquely even if
+  // a backend's fingerprint happens to embed the separator byte.
+  const std::string fp = backend.Fingerprint();
+  std::string key = std::to_string(fp.size());
+  key += ':';
+  key += fp;
+  key += '\x1f';
+  key += std::to_string(k);
+  const Schema& schema = *backend.schema();
+  for (const FormulaRef& g : guards) {
+    // Length-prefixed: printed guards embed free-text symbol names, which
+    // must not be able to imitate the separator and merge two different
+    // guard lists into one key.
+    const std::string printed = g->ToString(schema);
+    key += '\x1f';
+    key += std::to_string(printed.size());
+    key += ':';
+    key += printed;
+  }
+  return key;
+}
+
+std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = graphs_.find(key);
+  if (it == graphs_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void GraphCache::Insert(const std::string& key,
+                        std::shared_ptr<const SubTransitionGraph> graph) {
+  if (!graph || !graph->complete()) {
+    throw std::invalid_argument("GraphCache only stores complete graphs");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  graphs_.emplace(key, std::move(graph));
+}
+
+std::size_t GraphCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.size();
+}
+
+}  // namespace amalgam

@@ -1,0 +1,68 @@
+// Cross-query caching of complete sub-transition graphs.
+//
+// A complete SubTransitionGraph depends only on the class of databases, the
+// register count and the guard set — not on the control skeleton (states,
+// initial/accepting flags, rule endpoints) of the system that asked for it.
+// Repeated emptiness queries over the same (class, k, guards) therefore
+// never need to re-enumerate the class: the interned shape arena, the edge
+// store and the witness steps are all reusable as-is, and the second query
+// reports SolveStats::members_enumerated == 0.
+//
+// Keys are built from SolverBackend::Fingerprint() (a stable serialization
+// of the class's identity implemented by every backend), the register
+// count, and the printed guard formulas. Entries are immutable complete
+// graphs held by shared_ptr, so lookups can outlive the cache and
+// concurrent readers need no coordination beyond the map mutex.
+#ifndef AMALGAM_SOLVER_CACHE_H_
+#define AMALGAM_SOLVER_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "solver/graph.h"
+
+namespace amalgam {
+
+/// A keyed store of complete sub-transition graphs. Thread-safe; share one
+/// cache across all queries that may repeat a (class, k, guard set).
+class GraphCache {
+ public:
+  /// The cache key for a query: backend fingerprint + register count +
+  /// printed guard set.
+  static std::string Key(const SolverBackend& backend, int k,
+                         std::span<const FormulaRef> guards);
+
+  /// The cached complete graph for `key`, or nullptr. Counts a hit/miss.
+  std::shared_ptr<const SubTransitionGraph> Lookup(const std::string& key);
+
+  /// Stores a complete graph under `key` (first insert wins). Throws
+  /// std::invalid_argument if the graph is not complete — partial graphs
+  /// from an early-exited on-the-fly run must never be reused.
+  void Insert(const std::string& key,
+              std::shared_ptr<const SubTransitionGraph> graph);
+
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const SubTransitionGraph>>
+      graphs_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SOLVER_CACHE_H_

@@ -1,0 +1,105 @@
+#include "solver/graph.h"
+
+#include <stdexcept>
+
+namespace amalgam {
+
+namespace {
+
+// Packs two 32-bit shape ids into the disjoint halves of a uint64.
+std::uint64_t PackShapePair(int old_shape, int new_shape) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(old_shape))
+          << 32) |
+         static_cast<std::uint32_t>(new_shape);
+}
+
+}  // namespace
+
+SubTransitionGraph::SubTransitionGraph(std::vector<FormulaRef> guards, int k)
+    : guards_(std::move(guards)), k_(k), seen_(guards_.size()),
+      valuation_(2 * static_cast<std::size_t>(k)) {}
+
+int SubTransitionGraph::AddInitialMember(const Structure& d,
+                                         std::span<const Elem> marks) {
+  const int shape = interner_.Intern(d, marks);
+  if (static_cast<std::size_t>(interner_.size()) > edges_by_shape_.size()) {
+    edges_by_shape_.resize(interner_.size());
+  }
+  // Deduplicated: cached graphs live long, and the initial-shape scan of
+  // every reusing query should be proportional to distinct shapes, not to
+  // however many members a backend happened to emit per shape.
+  if (is_initial_.size() < static_cast<std::size_t>(interner_.size())) {
+    is_initial_.resize(interner_.size(), 0);
+  }
+  if (!is_initial_[shape]) {
+    is_initial_[shape] = 1;
+    initial_shapes_.push_back(shape);
+  }
+  return shape;
+}
+
+bool SubTransitionGraph::ProcessJointMember(const Structure& d,
+                                            std::span<const Elem> marks,
+                                            SolveStats& stats,
+                                            const EdgeCallback& on_new_edge) {
+  for (int i = 0; i < 2 * k_; ++i) valuation_[i] = marks[i];
+  int old_shape = -1;
+  int new_shape = -1;
+  for (std::size_t g = 0; g < guards_.size(); ++g) {
+    ++stats.guard_evaluations;
+    if (!EvalFormula(*guards_[g], d, valuation_)) continue;
+    if (old_shape < 0) {
+      old_shape = interner_.InternProjection(
+          d, std::span<const Elem>(marks.data(), k_));
+      new_shape = interner_.InternProjection(
+          d, std::span<const Elem>(marks.data() + k_, k_));
+      if (static_cast<std::size_t>(interner_.size()) >
+          edges_by_shape_.size()) {
+        edges_by_shape_.resize(interner_.size());
+      }
+    }
+    if (!seen_[g].insert(PackShapePair(old_shape, new_shape)).second) {
+      continue;
+    }
+    const int step = static_cast<int>(steps_.size());
+    steps_.push_back(SubTransition{
+        static_cast<int>(g), d,
+        std::vector<Elem>(marks.begin(), marks.end())});
+    edges_by_shape_[old_shape].push_back(
+        Edge{static_cast<int>(g), new_shape, step});
+    ++num_edges_;
+    ++stats.edges;
+    if (on_new_edge &&
+        !on_new_edge(static_cast<int>(g), old_shape, new_shape, step)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SubTransitionGraph::BuildFull(const SolverBackend& backend,
+                                   SolveStats& stats,
+                                   std::uint64_t max_shapes) {
+  auto check_cap = [&] {
+    if (static_cast<std::uint64_t>(interner_.size()) > max_shapes) {
+      throw std::runtime_error(
+          "emptiness solver exceeded the configuration cap");
+    }
+  };
+  backend.EnumerateGenerated(
+      k_, [&](const Structure& d, std::span<const Elem> marks) {
+        ++stats.members_enumerated;
+        AddInitialMember(d, marks);
+        check_cap();
+      });
+  backend.EnumerateGenerated(
+      2 * k_, [&](const Structure& d, std::span<const Elem> marks) {
+        ++stats.members_enumerated;
+        ProcessJointMember(d, marks, stats, nullptr);
+        check_cap();
+      });
+  stats.raw_memo_hits = interner_.raw_hits();
+  complete_ = true;
+}
+
+}  // namespace amalgam

@@ -9,16 +9,13 @@ namespace amalgam {
 namespace {
 
 // Raw (non-canonical) fingerprint of a marked structure. Marks are encoded
-// full-width so identical fingerprints are identical marked structures
-// (same content bytes, same mark tuple) — the memo is exact, not heuristic.
+// as self-delimiting varints so identical fingerprints are identical marked
+// structures (same content bytes, same mark tuple) — the memo is exact, not
+// heuristic, however large the element ids grow.
 std::string RawKey(const Structure& s, std::span<const Elem> marks) {
   std::string key;
   key.reserve(4 * marks.size() + 8);
-  for (Elem m : marks) {
-    for (int shift = 0; shift < 32; shift += 8) {
-      key.push_back(static_cast<char>((m >> shift) & 0xff));
-    }
-  }
+  for (Elem m : marks) AppendFullWidth(key, m);
   key.push_back('\x02');
   key += s.EncodeContent();
   return key;

@@ -42,6 +42,28 @@ TreeRunClass::TreeRunClass(const TreeAutomaton* automaton, int extra_cap)
   schema_ = MakeSchema(std::move(full));
 }
 
+std::string TreeRunClass::Fingerprint() const {
+  // Serializes the automaton plus the enumeration cap: both shape the
+  // member stream (the cap truncates which patterns are explored).
+  const TreeAutomaton& a = *automaton_;
+  std::string fp = "tree-runs|cap" + std::to_string(extra_cap_);
+  // Length-prefixed for the same injection-safety reason as WordRunClass.
+  for (const std::string& l : a.labels()) {
+    fp += "|" + std::to_string(l.size()) + ":" + l;
+  }
+  for (int q = 0; q < a.num_states(); ++q) {
+    fp += ";" + std::to_string(a.label_of(q)) + (a.is_root(q) ? "r" : "-") +
+          (a.is_leaf(q) ? "l" : "-") + (a.is_rightmost(q) ? "m" : "-");
+  }
+  for (int p = 0; p < a.num_states(); ++p) {
+    for (int c = 0; c < a.num_states(); ++c) {
+      fp += a.first_child_ok(p, c) ? '1' : '0';
+      fp += a.next_sibling_ok(p, c) ? '1' : '0';
+    }
+  }
+  return fp;
+}
+
 Structure TreeRunClass::PatternToStructure(const TreePattern& p) const {
   const int s = p.size();
   Structure result(schema_, s);

@@ -30,6 +30,7 @@ class TreeRunClass : public FraisseClass {
   explicit TreeRunClass(const TreeAutomaton* automaton, int extra_cap = 4);
 
   const SchemaRef& schema() const override { return schema_; }
+  std::string Fingerprint() const override;
   bool Contains(const Structure& s) const override;
   std::uint64_t Blowup(int n) const override {
     return static_cast<std::uint64_t>(n) + extra_cap_;

@@ -8,7 +8,8 @@ TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
                                    const TreeAutomaton& automaton,
                                    int witness_size_cap,
                                    int extra_pattern_cap,
-                                   SolveStrategy strategy) {
+                                   SolveStrategy strategy,
+                                   GraphCache* cache) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "tree emptiness requires at least one register");
@@ -17,6 +18,7 @@ TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
   SolveOptions options;
   options.build_witness = false;  // no generic amalgamation for trees
   options.strategy = strategy;
+  options.cache = cache;
   SolveResult generic = SolveEmptiness(system, cls, options);
   TreeSolveResult result;
   result.nonempty = generic.nonempty;

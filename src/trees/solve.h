@@ -33,10 +33,13 @@ struct TreeSolveResult {
 /// Treedb(t)? `witness_size_cap` bounds the post-hoc concrete witness
 /// search (0 disables it). Routes through the shared exploration engine;
 /// `strategy` selects on-the-fly (default) or the eager reference pipeline.
+/// `cache`, when given, reuses/stores the complete sub-transition graph
+/// keyed by (automaton fingerprint + pattern cap, k, guard set).
 TreeSolveResult SolveTreeEmptiness(
     const DdsSystem& system, const TreeAutomaton& automaton,
     int witness_size_cap = 6, int extra_pattern_cap = 4,
-    SolveStrategy strategy = SolveStrategy::kOnTheFly);
+    SolveStrategy strategy = SolveStrategy::kOnTheFly,
+    GraphCache* cache = nullptr);
 
 /// Brute force: tries every tree with up to `max_size` nodes.
 std::optional<TreeWitness> BruteForceTreeSearch(const DdsSystem& system,

@@ -38,6 +38,24 @@ WordRunClass::WordRunClass(const Nfa& nfa) : nfa_(nfa.Trimmed()) {
   schema_ = MakeSchema(std::move(full));
 }
 
+std::string WordRunClass::Fingerprint() const {
+  // Serializes the trimmed automaton: it alone determines the member
+  // stream (alphabet, per-state letter/start/accept flags, transitions).
+  // Letter names are length-prefixed — free text must not be able to
+  // imitate the separators, or two different automata could share a
+  // fingerprint and wrongly share a cached graph.
+  std::string fp = "word-runs";
+  for (const std::string& a : nfa_.alphabet()) {
+    fp += "|" + std::to_string(a.size()) + ":" + a;
+  }
+  for (int q = 0; q < nfa_.num_states(); ++q) {
+    fp += ";" + std::to_string(nfa_.letter_of(q)) +
+          (nfa_.is_start(q) ? "s" : "-") + (nfa_.is_accept(q) ? "a" : "-");
+    for (int t : nfa_.successors()[q]) fp += "," + std::to_string(t);
+  }
+  return fp;
+}
+
 int WordRunClass::IntrinsicLeftmost(const WordPattern& p, int component,
                                     int pos) const {
   for (int i = 0; i < pos; ++i) {

@@ -51,6 +51,7 @@ class WordRunClass : public FraisseClass {
   explicit WordRunClass(const Nfa& nfa);
 
   const SchemaRef& schema() const override { return schema_; }
+  std::string Fingerprint() const override;
   bool Contains(const Structure& s) const override;
   std::uint64_t Blowup(int n) const override {
     return n + 2ULL * num_components_;

@@ -5,8 +5,8 @@
 namespace amalgam {
 
 WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
-                                   bool build_witness,
-                                   SolveStrategy strategy) {
+                                   bool build_witness, SolveStrategy strategy,
+                                   GraphCache* cache) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "word emptiness requires at least one register");
@@ -15,6 +15,7 @@ WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
   SolveOptions options;
   options.build_witness = build_witness;
   options.strategy = strategy;
+  options.cache = cache;
   SolveResult generic = SolveEmptiness(system, cls, options);
   WordSolveResult result;
   result.nonempty = generic.nonempty;

@@ -34,9 +34,13 @@ struct WordSolveResult {
 /// anchor argument; with zero registers the problem degenerates to graph
 /// reachability anyway). Routes through the shared exploration engine;
 /// `strategy` selects on-the-fly (default) or the eager reference pipeline.
+/// `cache`, when given, reuses/stores the complete sub-transition graph
+/// keyed by (automaton fingerprint, k, guard set) — repeated queries over
+/// the same automaton skip run-pattern enumeration entirely.
 WordSolveResult SolveWordEmptiness(
     const DdsSystem& system, const Nfa& nfa, bool build_witness = true,
-    SolveStrategy strategy = SolveStrategy::kOnTheFly);
+    SolveStrategy strategy = SolveStrategy::kOnTheFly,
+    GraphCache* cache = nullptr);
 
 /// Brute-force reference: tries every word of length 1..max_len, returning
 /// the first word of the language driving an accepting run.

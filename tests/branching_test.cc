@@ -1,11 +1,19 @@
 // Tests for the branching extension (paper §4.5): run *trees* of
 // configurations over a shared database; emptiness via backward fixpoint
-// over small configurations.
+// over small configurations. Since the port onto the shared
+// SubTransitionGraph, also: a regression for the one-byte raw-key
+// truncation of the deleted private ShapeRegistry, a differential pin
+// against the linear solver on single-branch systems, and the cross-query
+// graph cache.
 #include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <memory>
 
 #include "fraisse/hom_class.h"  // for LiftedHomClass in other cases
 #include "fraisse/relational.h"
 #include "solver/branching.h"
+#include "solver/cache.h"
 #include "system/zoo.h"
 
 namespace amalgam {
@@ -106,6 +114,153 @@ TEST(BranchingTest, AccountsForSharedDatabaseConsistency) {
   bs.AddRule(s, {{"red(x_old) & x_new = x_old", t},
                  {"!red(x_old) & x_new = x_old", t}});
   EXPECT_FALSE(SolveBranchingEmptiness(bs, cls).nonempty);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: the branching solver's deleted private ShapeRegistry built raw
+// memo keys with one byte per mark (branching.cc:28 before the port), so
+// marks 1 and 257 on the same structure produced identical keys and the
+// second member silently inherited the first member's shape id. This class
+// reproduces that exact scenario with members of 258 elements.
+// ---------------------------------------------------------------------------
+
+// A class of marked structures over one 258-element rigid cycle: element i
+// points to i+1 mod 258 via f, nine unary bit predicates make the structure
+// rigid (and color refinement instantaneous), and "sel" (the only symbol
+// visible to systems) holds on element 257 alone.
+class BigElementIdClass : public FraisseClass {
+ public:
+  BigElementIdClass() {
+    Schema full;
+    full.AddRelation("sel", 1);
+    for (int b = 0; b < 9; ++b) {
+      full.AddRelation("b" + std::to_string(b), 1);
+    }
+    full.AddFunction("f", 1);
+    schema_ = MakeSchema(std::move(full));
+
+    member_ = std::make_unique<Structure>(schema_, kDomain);
+    for (Elem e = 0; e < kDomain; ++e) {
+      member_->SetFunction1(0, e, (e + 1) % kDomain);
+      for (int b = 0; b < 9; ++b) {
+        if ((e >> b) & 1) member_->SetHolds1(1 + b, e);
+      }
+    }
+    member_->SetHolds1(0, kDomain - 1);  // sel(257)
+  }
+
+  const SchemaRef& schema() const override { return schema_; }
+  std::string Fingerprint() const override { return "test-big-element-ids"; }
+  bool Contains(const Structure& s) const override {
+    return AreIsomorphic(s, *member_);
+  }
+  std::uint64_t Blowup(int) const override { return kDomain; }
+
+  void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override {
+    // Every mark generates the whole cycle, so each mark tuple yields one
+    // member. Two single-mark members whose marks differ by exactly 256 —
+    // the one-byte aliasing distance — plus the joint member that puts both
+    // registers on the sel element.
+    if (m == 1) {
+      if (!Emit(cb, {1})) return;
+      Emit(cb, {kDomain - 1});
+    } else if (m == 2) {
+      Emit(cb, {kDomain - 1, kDomain - 1});
+    }
+  }
+
+  static constexpr Elem kDomain = 258;
+
+ private:
+  bool Emit(const StopCallback& cb, std::vector<Elem> marks) const {
+    return cb(*member_, marks);
+  }
+
+  SchemaRef schema_;
+  std::unique_ptr<Structure> member_;
+};
+
+TEST(BranchingTest, ElementIdsPast256DoNotCollideRawKeys) {
+  BigElementIdClass cls;
+  Schema visible;
+  visible.AddRelation("sel", 1);
+  BranchingSystem bs(MakeSchema(std::move(visible)));
+  bs.AddRegister("x");
+  int init = bs.AddState("init", true);
+  int acc = bs.AddState("acc", false, true);
+  bs.AddRule(init, {{"sel(x_old) & sel(x_new)", acc}});
+
+  BranchingSolveResult r = SolveBranchingEmptiness(bs, cls);
+  // The member marked at the sel element (mark id 257) is initial and
+  // steps to itself, so the system is nonempty. The old one-byte raw key
+  // made (s, [257]) collide with the previously interned (s, [1]) — the
+  // initial-shape set degenerated to the non-sel shape and the verdict
+  // flipped to empty.
+  EXPECT_TRUE(r.nonempty);
+  // Both single-mark members must intern to distinct shapes (the collision
+  // merged them into one).
+  EXPECT_EQ(r.stats.configs, 2u * 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: a branching system whose rules all have a single branch is
+// an ordinary system, so the ported fixpoint must agree with the linear
+// engine verdict-for-verdict across the system zoo.
+// ---------------------------------------------------------------------------
+
+BranchingSystem MirrorAsSingleBranch(const DdsSystem& system) {
+  BranchingSystem mirrored(system.schema_ref());
+  for (int r = 0; r < system.num_registers(); ++r) {
+    mirrored.AddRegister(system.register_name(r));
+  }
+  for (int q = 0; q < system.num_states(); ++q) {
+    mirrored.AddState(system.state_name(q), system.is_initial(q),
+                      system.is_accepting(q));
+  }
+  for (const TransitionRule& rule : system.rules()) {
+    mirrored.AddRule(rule.from, {Branch{rule.guard, rule.to}});
+  }
+  return mirrored;
+}
+
+TEST(BranchingTest, PortedFixpointMatchesTheLinearEngineOnTheZoo) {
+  AllStructuresClass all(GraphZooSchema());
+  LiftedHomClass lifted(Example2Template());
+  for (const DdsSystem& system :
+       {OddRedCycleSystem(), ReachRedSystem(), ContradictionSystem()}) {
+    BranchingSystem mirrored = MirrorAsSingleBranch(system);
+    for (const FraisseClass* cls :
+         std::initializer_list<const FraisseClass*>{&all, &lifted}) {
+      const bool linear =
+          SolveEmptiness(system, *cls, SolveOptions{.build_witness = false})
+              .nonempty;
+      EXPECT_EQ(SolveBranchingEmptiness(mirrored, *cls).nonempty, linear)
+          << "verdicts diverged over " << cls->Fingerprint();
+    }
+  }
+}
+
+TEST(BranchingTest, SecondQueryIsServedFromTheGraphCache) {
+  AllStructuresClass cls(GraphZooSchema());
+  BranchingSystem bs(GraphZooSchema());
+  bs.AddRegister("x");
+  int start = bs.AddState("start", true);
+  int red_found = bs.AddState("red_found", false, true);
+  int white_found = bs.AddState("white_found", false, true);
+  bs.AddRule(start, {{"E(x_old, x_new) & red(x_new)", red_found},
+                     {"E(x_old, x_new) & !red(x_new)", white_found}});
+
+  GraphCache cache;
+  BranchingSolveResult first = SolveBranchingEmptiness(bs, cls, &cache);
+  EXPECT_FALSE(first.stats.graph_from_cache);
+  EXPECT_GT(first.stats.members_enumerated, 0u);
+
+  BranchingSolveResult second = SolveBranchingEmptiness(bs, cls, &cache);
+  EXPECT_TRUE(second.stats.graph_from_cache);
+  EXPECT_EQ(second.stats.members_enumerated, 0u);
+  EXPECT_EQ(second.nonempty, first.nonempty);
+  EXPECT_EQ(second.stats.edges, first.stats.edges);
+  EXPECT_EQ(second.stats.configs, first.stats.configs);
 }
 
 }  // namespace

@@ -99,5 +99,66 @@ TEST_P(CanonicalStress, KeyEqualityMatchesMarkedIsomorphism) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalStress, ::testing::Range(0, 6));
 
+// ---------------------------------------------------------------------------
+// Full-width encoding: EncodeContent and the canonical key once emitted one
+// byte per element count / function value / mark, so values 256 apart
+// aliased (char(257) == char(1)) and distinct structures shared keys.
+// ---------------------------------------------------------------------------
+
+TEST(EncodingWidthTest, FunctionValuesPast256DoNotAlias) {
+  Schema s;
+  s.AddFunction("f", 1);
+  auto schema = MakeSchema(std::move(s));
+  const int n = 300;
+  Structure s1(schema, n);
+  Structure s2(schema, n);
+  for (Elem e = 0; e < static_cast<Elem>(n); ++e) {
+    s1.SetFunction1(0, e, e);
+    s2.SetFunction1(0, e, e);
+  }
+  s1.SetFunction1(0, 0, 1);
+  s2.SetFunction1(0, 0, 257);  // 257 truncates to 1 in a single byte
+  EXPECT_FALSE(s1 == s2);
+  EXPECT_NE(s1.EncodeContent(), s2.EncodeContent());
+}
+
+TEST(EncodingWidthTest, DomainSizesPast256DoNotAlias) {
+  auto empty_schema = MakeSchema(Schema{});
+  Structure small(empty_schema, 1);
+  Structure big(empty_schema, 257);  // 257 truncates to 1 in a single byte
+  EXPECT_NE(small.EncodeContent(), big.EncodeContent());
+}
+
+TEST(EncodingWidthTest, MarksPast256GetDistinctCanonicalKeys) {
+  // A rigid 258-element structure (bit predicates give every element a
+  // unique color in one refinement round): marks 1 and 257 are genuinely
+  // non-isomorphic marked structures and must not share a canonical key
+  // even though their ids agree modulo 256.
+  Schema s;
+  for (int b = 0; b < 9; ++b) s.AddRelation("b" + std::to_string(b), 1);
+  auto schema = MakeSchema(std::move(s));
+  const Elem n = 258;
+  Structure rigid(schema, n);
+  for (Elem e = 0; e < n; ++e) {
+    for (int b = 0; b < 9; ++b) {
+      if ((e >> b) & 1) rigid.SetHolds1(b, e);
+    }
+  }
+  std::vector<Elem> low = {1};
+  std::vector<Elem> high = {257};
+  CanonicalForm canon_low = Canonicalize(rigid, low);
+  CanonicalForm canon_high = Canonicalize(rigid, high);
+  EXPECT_NE(canon_low.key, canon_high.key);
+
+  // Sanity: the canonical key is still invariant under renaming at this
+  // size — swap two elements and re-canonicalize.
+  std::vector<Elem> perm(n);
+  for (Elem e = 0; e < n; ++e) perm[e] = e;
+  std::swap(perm[3], perm[200]);
+  Structure renamed = rigid.ApplyPermutation(perm);
+  std::vector<Elem> renamed_high = {perm[257]};
+  EXPECT_EQ(Canonicalize(renamed, renamed_high).key, canon_high.key);
+}
+
 }  // namespace
 }  // namespace amalgam

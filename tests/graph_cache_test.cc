@@ -1,0 +1,192 @@
+// Tests for the cross-query sub-transition graph cache: repeated queries
+// over the same (class fingerprint, k, guard set) must skip class
+// enumeration entirely (members_enumerated == 0), verdicts and witnesses
+// must be unaffected, and backend fingerprints must separate classes that
+// enumerate different member streams.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fraisse/data_class.h"
+#include "fraisse/relational.h"
+#include "solver/cache.h"
+#include "solver/emptiness.h"
+#include "system/concrete.h"
+#include "system/zoo.h"
+#include "trees/solve.h"
+#include "trees/zoo.h"
+#include "words/solve.h"
+#include "words/zoo.h"
+
+namespace amalgam {
+namespace {
+
+TEST(GraphCacheTest, SecondQuerySkipsEnumerationEntirely) {
+  AllStructuresClass cls(GraphZooSchema());
+  DdsSystem system = ReachRedSystem();
+  GraphCache cache;
+  SolveOptions options;
+  options.cache = &cache;
+
+  SolveResult first = SolveEmptiness(system, cls, options);
+  EXPECT_FALSE(first.stats.graph_from_cache);
+  EXPECT_GT(first.stats.members_enumerated, 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  SolveResult second = SolveEmptiness(system, cls, options);
+  EXPECT_TRUE(second.stats.graph_from_cache);
+  EXPECT_EQ(second.stats.members_enumerated, 0u);
+  EXPECT_EQ(second.stats.guard_evaluations, 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  EXPECT_EQ(first.nonempty, second.nonempty);
+  EXPECT_EQ(first.stats.configs, second.stats.configs);
+  EXPECT_EQ(first.stats.edges, second.stats.edges);
+
+  // The cached graph keeps the witness steps, so reconstruction still
+  // replays the soundness proof.
+  ASSERT_TRUE(second.nonempty);
+  ASSERT_TRUE(second.witness_db.has_value());
+  EXPECT_TRUE(
+      ValidateAcceptingRun(system, *second.witness_db, *second.witness_run));
+}
+
+TEST(GraphCacheTest, CachedVerdictsMatchUncachedAcrossTheZoo) {
+  AllStructuresClass cls(GraphZooSchema());
+  GraphCache cache;
+  for (const DdsSystem& system :
+       {OddRedCycleSystem(), ReachRedSystem(), ContradictionSystem()}) {
+    SolveOptions plain;
+    plain.build_witness = false;
+    SolveOptions cached = plain;
+    cached.cache = &cache;
+    const bool expected = SolveEmptiness(system, cls, plain).nonempty;
+    EXPECT_EQ(SolveEmptiness(system, cls, cached).nonempty, expected);
+    EXPECT_EQ(SolveEmptiness(system, cls, cached).nonempty, expected);
+  }
+}
+
+TEST(GraphCacheTest, GraphIsSharedAcrossSystemsWithTheSameGuardSet) {
+  // The cached graph depends on the guard set, not the control skeleton:
+  // two systems with identical guards but different accepting states share
+  // one graph and still get their own verdicts.
+  AllStructuresClass cls(GraphZooSchema());
+  GraphCache cache;
+  SolveOptions options;
+  options.build_witness = false;
+  options.cache = &cache;
+
+  DdsSystem reach(GraphZooSchema());
+  reach.AddRegister("x");
+  int a1 = reach.AddState("a", true);
+  int b1 = reach.AddState("b", false, true);
+  reach.AddRule(a1, b1, "E(x_old, x_new)");
+
+  DdsSystem dead(GraphZooSchema());
+  dead.AddRegister("x");
+  int a2 = dead.AddState("a", true);
+  int b2 = dead.AddState("b");  // no accepting state at all
+  dead.AddRule(a2, b2, "E(x_old, x_new)");
+
+  SolveResult r1 = SolveEmptiness(reach, cls, options);
+  EXPECT_FALSE(r1.stats.graph_from_cache);
+  EXPECT_TRUE(r1.nonempty);
+
+  SolveResult r2 = SolveEmptiness(dead, cls, options);
+  EXPECT_TRUE(r2.stats.graph_from_cache);
+  EXPECT_EQ(r2.stats.members_enumerated, 0u);
+  EXPECT_FALSE(r2.nonempty);
+}
+
+TEST(GraphCacheTest, WordFrontDoorUsesTheCache) {
+  DdsSystem system = ZigZagSystem(1);
+  Nfa nfa = NfaAPlusBPlus();
+  GraphCache cache;
+  WordSolveResult first = SolveWordEmptiness(
+      system, nfa, true, SolveStrategy::kOnTheFly, &cache);
+  WordSolveResult second = SolveWordEmptiness(
+      system, nfa, true, SolveStrategy::kOnTheFly, &cache);
+  EXPECT_EQ(first.nonempty, second.nonempty);
+  EXPECT_GT(first.stats.members_enumerated, 0u);
+  EXPECT_EQ(second.stats.members_enumerated, 0u);
+  EXPECT_TRUE(second.stats.graph_from_cache);
+  if (second.nonempty && second.witness.has_value()) {
+    EXPECT_TRUE(nfa.Accepts(second.witness->letters));
+  }
+}
+
+TEST(GraphCacheTest, TreeFrontDoorUsesTheCache) {
+  TreeAutomaton two = TaTwoLevel();
+  DdsSystem system = DescendSystem(two, 1);
+  GraphCache cache;
+  TreeSolveResult first = SolveTreeEmptiness(
+      system, two, 0, 3, SolveStrategy::kOnTheFly, &cache);
+  TreeSolveResult second = SolveTreeEmptiness(
+      system, two, 0, 3, SolveStrategy::kOnTheFly, &cache);
+  EXPECT_EQ(first.nonempty, second.nonempty);
+  EXPECT_GT(first.stats.members_enumerated, 0u);
+  EXPECT_EQ(second.stats.members_enumerated, 0u);
+}
+
+TEST(GraphCacheTest, RefusesPartialGraphs) {
+  // Streaming graphs from an early-exited on-the-fly run are incomplete;
+  // caching one would poison every later query.
+  GraphCache cache;
+  auto partial = std::make_shared<SubTransitionGraph>(
+      std::vector<FormulaRef>{}, 1);
+  EXPECT_THROW(cache.Insert("key", partial), std::invalid_argument);
+}
+
+TEST(GraphCacheTest, FingerprintsSeparateBackends) {
+  AllStructuresClass all(GraphZooSchema());
+  LinearOrderClass orders;
+  EquivalenceClass eqv;
+  EXPECT_EQ(all.Fingerprint(),
+            AllStructuresClass(GraphZooSchema()).Fingerprint());
+  EXPECT_NE(all.Fingerprint(), orders.Fingerprint());
+  EXPECT_NE(orders.Fingerprint(), eqv.Fingerprint());
+
+  auto base = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  DataClass deq_any(base, DataDomain::kNaturalsWithEquality, false);
+  DataClass deq_inj(base, DataDomain::kNaturalsWithEquality, true);
+  DataClass dlt_any(base, DataDomain::kRationalsWithOrder, false);
+  EXPECT_NE(deq_any.Fingerprint(), deq_inj.Fingerprint());
+  EXPECT_NE(deq_any.Fingerprint(), dlt_any.Fingerprint());
+
+  WordRunClass w1(NfaAlternatingAB());
+  WordRunClass w2(NfaAPlusBPlus());
+  EXPECT_EQ(w1.Fingerprint(), WordRunClass(NfaAlternatingAB()).Fingerprint());
+  EXPECT_NE(w1.Fingerprint(), w2.Fingerprint());
+
+  TreeAutomaton chains = TaChains();
+  TreeRunClass t3(&chains, 3);
+  TreeRunClass t4(&chains, 4);
+  EXPECT_NE(t3.Fingerprint(), t4.Fingerprint());
+}
+
+TEST(GraphCacheTest, FingerprintsAreInjectionSafe) {
+  // Free-text components (letter names, symbol names) are length-prefixed:
+  // an alphabet of one letter "a|b" must not serialize like the alphabet
+  // "a", "b", or two genuinely different classes would share a cached
+  // graph and verdicts could cross over.
+  Nfa glued({"a|b"});
+  glued.AddState(0, true, true);
+  Nfa split({"a", "b"});
+  split.AddState(0, true, true);
+  EXPECT_NE(WordRunClass(glued).Fingerprint(),
+            WordRunClass(split).Fingerprint());
+
+  // Same shape for schemas: a relation named "a/1, b" imitates ToString's
+  // separators, but not the length-prefixed fingerprint.
+  Schema imitation;
+  imitation.AddRelation("a/1, b", 1);
+  Schema honest;
+  honest.AddRelation("a", 1);
+  honest.AddRelation("b", 1);
+  EXPECT_NE(MakeSchema(std::move(imitation))->Fingerprint(),
+            MakeSchema(std::move(honest))->Fingerprint());
+}
+
+}  // namespace
+}  // namespace amalgam
