@@ -106,6 +106,34 @@ BENCHMARK(BM_CachedQuery)
     ->ArgNames({"states"})
     ->Unit(benchmark::kMillisecond);
 
+// The sharded parallel sweep vs the serial eager build on the 64-state
+// chain: each worker owns one round-robin slice of the 2k joint-member
+// stream (guard evaluation, canonicalization and interning happen in the
+// workers), and the deterministic merge renumbers shapes so the graph is
+// bit-identical to the serial build at every thread count.
+void BM_ParallelBuild(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  DdsSystem system = ChainSystem(64, 1);
+  AllStructuresClass cls(GraphZooSchema());
+  SolveOptions options;
+  options.build_witness = false;
+  options.strategy = SolveStrategy::kEager;
+  options.num_threads = threads;
+  SolveResult last;
+  for (auto _ : state) {
+    last = SolveEmptiness(system, cls, options);
+    benchmark::DoNotOptimize(last.nonempty);
+  }
+  state.counters["members"] =
+      static_cast<double>(last.stats.members_enumerated);
+  state.counters["edges"] = static_cast<double>(last.stats.edges);
+}
+BENCHMARK(BM_ParallelBuild)
+    ->ArgsProduct({{1, 2, 4, 8}})
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_RegistersSweep(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   DdsSystem system = ChainSystem(3, k);

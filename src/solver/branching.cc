@@ -23,7 +23,8 @@ void BranchingSystem::AddRule(int from, std::vector<Branch> branches) {
 
 BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
                                              const FraisseClass& cls,
-                                             GraphCache* cache) {
+                                             GraphCache* cache,
+                                             int num_threads) {
   const DdsSystem& skel = system.skeleton();
   // The guard set, flattened in (rule, branch) order: the graph's guard
   // indices are flattened branch ids.
@@ -54,7 +55,11 @@ BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
   }
   if (!graph) {
     auto built = std::make_shared<SubTransitionGraph>(guards, k);
-    built->BuildFull(cls, result.stats);
+    if (num_threads > 1) {
+      built->BuildFullParallel(cls, num_threads, result.stats);
+    } else {
+      built->BuildFull(cls, result.stats);
+    }
     if (cache) cache->Insert(cache_key, built);
     graph = std::move(built);
   }

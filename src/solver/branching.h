@@ -74,9 +74,14 @@ struct BranchingSolveResult {
 /// same interner and edge store as the linear engine); when `cache` is
 /// given, a complete graph for (class fingerprint, k, guard set) is reused
 /// or stored, so a repeated query reports stats.members_enumerated == 0.
+/// `num_threads` > 1 shards the joint-member sweep of a fresh build across
+/// worker threads (BuildFullParallel); the deterministic merge keeps the
+/// graph — and hence the fixpoint and the verdict — identical to a serial
+/// build.
 BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
                                              const FraisseClass& cls,
-                                             GraphCache* cache = nullptr);
+                                             GraphCache* cache = nullptr,
+                                             int num_threads = 1);
 
 }  // namespace amalgam
 

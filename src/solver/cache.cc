@@ -37,7 +37,12 @@ std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  // Freshen the entry's recency rank. Skipped when already freshest — the
+  // common case for a hot key — so steady-state hits touch no list nodes.
+  if (it->second.lru_pos != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  return it->second.graph;
 }
 
 void GraphCache::Insert(const std::string& key,
@@ -46,7 +51,14 @@ void GraphCache::Insert(const std::string& key,
     throw std::invalid_argument("GraphCache only stores complete graphs");
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  graphs_.emplace(key, std::move(graph));
+  if (graphs_.find(key) != graphs_.end()) return;  // first insert wins
+  if (max_entries_ > 0 && graphs_.size() >= max_entries_) {
+    graphs_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  graphs_.emplace(key, Entry{std::move(graph), lru_.begin()});
 }
 
 std::size_t GraphCache::size() const {

@@ -17,6 +17,7 @@
 #define AMALGAM_SOLVER_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -29,17 +30,27 @@ namespace amalgam {
 
 /// A keyed store of complete sub-transition graphs. Thread-safe; share one
 /// cache across all queries that may repeat a (class, k, guard set).
+/// Optionally capped: with `max_entries` > 0 the least-recently-hit entry
+/// is evicted when an insert would exceed the cap (entries handed out by
+/// Lookup stay alive through their shared_ptr regardless).
 class GraphCache {
  public:
+  /// `max_entries` == 0 (the default) means unbounded — the historical
+  /// behavior; a long-lived service should set a cap.
+  explicit GraphCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
   /// The cache key for a query: backend fingerprint + register count +
   /// printed guard set.
   static std::string Key(const SolverBackend& backend, int k,
                          std::span<const FormulaRef> guards);
 
-  /// The cached complete graph for `key`, or nullptr. Counts a hit/miss.
+  /// The cached complete graph for `key`, or nullptr. Counts a hit/miss;
+  /// a hit freshens the entry's eviction rank.
   std::shared_ptr<const SubTransitionGraph> Lookup(const std::string& key);
 
-  /// Stores a complete graph under `key` (first insert wins). Throws
+  /// Stores a complete graph under `key` (first insert wins), evicting the
+  /// least-recently-hit entry if a cap is set and reached. Throws
   /// std::invalid_argument if the graph is not complete — partial graphs
   /// from an early-exited on-the-fly run must never be reused.
   void Insert(const std::string& key,
@@ -53,14 +64,30 @@ class GraphCache {
     std::lock_guard<std::mutex> lock(mutex_);
     return misses_;
   }
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
+  std::size_t max_entries() const { return max_entries_; }
   std::size_t size() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const SubTransitionGraph> graph;
+    // Position in lru_; kept in sync under mutex_ (list iterators stay
+    // valid across splices and other erasures).
+    std::list<std::string>::iterator lru_pos;
+  };
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const SubTransitionGraph>>
-      graphs_;
+  const std::size_t max_entries_;
+  std::unordered_map<std::string, Entry> graphs_;
+  // Recency order, most recently hit/inserted first; entries hold their
+  // own key so eviction can erase from the map.
+  std::list<std::string> lru_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace amalgam

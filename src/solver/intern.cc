@@ -1,5 +1,6 @@
 #include "solver/intern.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/hash.h"
@@ -23,7 +24,7 @@ std::string RawKey(const Structure& s, std::span<const Elem> marks) {
 
 }  // namespace
 
-int ConfigInterner::InternCanonical(CanonicalForm canon) {
+int ConfigInterner::InternCanonical(CanonicalForm&& canon) {
   std::vector<int>& bucket = by_canonical_hash_[canon.hash];
   for (int id : bucket) {
     if (shapes_[id] == canon) return id;
@@ -31,6 +32,17 @@ int ConfigInterner::InternCanonical(CanonicalForm canon) {
   const int id = static_cast<int>(shapes_.size());
   bucket.push_back(id);
   shapes_.push_back(std::move(canon));
+  return id;
+}
+
+int ConfigInterner::InternCanonical(const CanonicalForm& canon) {
+  std::vector<int>& bucket = by_canonical_hash_[canon.hash];
+  for (int id : bucket) {
+    if (shapes_[id] == canon) return id;
+  }
+  const int id = static_cast<int>(shapes_.size());
+  bucket.push_back(id);
+  shapes_.push_back(canon);
   return id;
 }
 
@@ -57,6 +69,58 @@ int ConfigInterner::InternProjection(const Structure& joint,
     sub_marks[i] = sub.old_to_new[marks[i]];
   }
   return Intern(sub.structure, sub_marks);
+}
+
+int StagingInterner::Intern(const Structure& s, std::span<const Elem> marks,
+                            const ShapeOrigin& origin) {
+  const int id = interner_.Intern(s, marks);
+  if (static_cast<std::size_t>(interner_.size()) > origins_.size()) {
+    origins_.push_back(origin);
+  }
+  return id;
+}
+
+int StagingInterner::InternProjection(const Structure& joint,
+                                      std::span<const Elem> marks,
+                                      const ShapeOrigin& origin) {
+  const int id = interner_.InternProjection(joint, marks);
+  if (static_cast<std::size_t>(interner_.size()) > origins_.size()) {
+    origins_.push_back(origin);
+  }
+  return id;
+}
+
+std::vector<std::vector<int>> MergeStagedShapes(
+    std::span<const StagingInterner> stagings, ConfigInterner& target) {
+  struct Item {
+    ShapeOrigin origin;
+    int staging;
+    int local;
+  };
+  std::vector<Item> items;
+  std::size_t total = 0;
+  for (const StagingInterner& s : stagings) total += s.size();
+  items.reserve(total);
+  for (std::size_t w = 0; w < stagings.size(); ++w) {
+    for (int local = 0; local < stagings[w].size(); ++local) {
+      items.push_back(Item{stagings[w].origin(local), static_cast<int>(w),
+                           local});
+    }
+  }
+  // Origins are unique across stagings (shards are disjoint stream slices),
+  // so this order is the serial first-encounter order of the staged shapes.
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.origin < b.origin; });
+
+  std::vector<std::vector<int>> remap(stagings.size());
+  for (std::size_t w = 0; w < stagings.size(); ++w) {
+    remap[w].assign(stagings[w].size(), -1);
+  }
+  for (const Item& item : items) {
+    remap[item.staging][item.local] =
+        target.InternCanonical(stagings[item.staging].shape(item.local));
+  }
+  return remap;
 }
 
 }  // namespace amalgam

@@ -9,7 +9,7 @@ TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
                                    int witness_size_cap,
                                    int extra_pattern_cap,
                                    SolveStrategy strategy,
-                                   GraphCache* cache) {
+                                   GraphCache* cache, int num_threads) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "tree emptiness requires at least one register");
@@ -19,6 +19,7 @@ TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
   options.build_witness = false;  // no generic amalgamation for trees
   options.strategy = strategy;
   options.cache = cache;
+  options.num_threads = num_threads;
   SolveResult generic = SolveEmptiness(system, cls, options);
   TreeSolveResult result;
   result.nonempty = generic.nonempty;

@@ -35,11 +35,14 @@ struct TreeSolveResult {
 /// `strategy` selects on-the-fly (default) or the eager reference pipeline.
 /// `cache`, when given, reuses/stores the complete sub-transition graph
 /// keyed by (automaton fingerprint + pattern cap, k, guard set).
+/// `num_threads` > 1 shards complete-graph builds (eager or cache-miss)
+/// across worker threads behind the deterministic merge; verdicts and
+/// graphs match the serial build bit for bit.
 TreeSolveResult SolveTreeEmptiness(
     const DdsSystem& system, const TreeAutomaton& automaton,
     int witness_size_cap = 6, int extra_pattern_cap = 4,
     SolveStrategy strategy = SolveStrategy::kOnTheFly,
-    GraphCache* cache = nullptr);
+    GraphCache* cache = nullptr, int num_threads = 1);
 
 /// Brute force: tries every tree with up to `max_size` nodes.
 std::optional<TreeWitness> BruteForceTreeSearch(const DdsSystem& system,

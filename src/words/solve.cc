@@ -6,7 +6,7 @@ namespace amalgam {
 
 WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
                                    bool build_witness, SolveStrategy strategy,
-                                   GraphCache* cache) {
+                                   GraphCache* cache, int num_threads) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "word emptiness requires at least one register");
@@ -16,6 +16,7 @@ WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
   options.build_witness = build_witness;
   options.strategy = strategy;
   options.cache = cache;
+  options.num_threads = num_threads;
   SolveResult generic = SolveEmptiness(system, cls, options);
   WordSolveResult result;
   result.nonempty = generic.nonempty;

@@ -36,11 +36,14 @@ struct WordSolveResult {
 /// `strategy` selects on-the-fly (default) or the eager reference pipeline.
 /// `cache`, when given, reuses/stores the complete sub-transition graph
 /// keyed by (automaton fingerprint, k, guard set) — repeated queries over
-/// the same automaton skip run-pattern enumeration entirely.
+/// the same automaton skip run-pattern enumeration entirely. `num_threads`
+/// > 1 shards complete-graph builds (eager or cache-miss) across worker
+/// threads behind the deterministic merge; verdicts and graphs match the
+/// serial build bit for bit.
 WordSolveResult SolveWordEmptiness(
     const DdsSystem& system, const Nfa& nfa, bool build_witness = true,
     SolveStrategy strategy = SolveStrategy::kOnTheFly,
-    GraphCache* cache = nullptr);
+    GraphCache* cache = nullptr, int num_threads = 1);
 
 /// Brute-force reference: tries every word of length 1..max_len, returning
 /// the first word of the language driving an accepting run.

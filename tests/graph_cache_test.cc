@@ -129,6 +129,84 @@ TEST(GraphCacheTest, TreeFrontDoorUsesTheCache) {
   EXPECT_EQ(second.stats.members_enumerated, 0u);
 }
 
+// A minimal complete graph for eviction tests: no guards, one register,
+// swept over the linear-order class (tiny and fast).
+std::shared_ptr<const SubTransitionGraph> TinyCompleteGraph() {
+  LinearOrderClass orders;
+  auto graph =
+      std::make_shared<SubTransitionGraph>(std::vector<FormulaRef>{}, 1);
+  SolveStats stats;
+  graph->BuildFull(orders, stats);
+  return graph;
+}
+
+TEST(GraphCacheTest, UnboundedByDefault) {
+  GraphCache cache;
+  EXPECT_EQ(cache.max_entries(), 0u);
+  auto graph = TinyCompleteGraph();
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert("key" + std::to_string(i), graph);
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(GraphCacheTest, EvictsLeastRecentlyHitEntry) {
+  GraphCache cache(/*max_entries=*/2);
+  auto graph = TinyCompleteGraph();
+  cache.Insert("a", graph);
+  cache.Insert("b", graph);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Freshen "a": "b" is now the least recently hit.
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  cache.Insert("c", graph);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr) << "LRU entry survived the insert";
+
+  // A re-insert after eviction is a fresh entry, not a first-insert no-op.
+  cache.Insert("b", graph);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+}
+
+TEST(GraphCacheTest, FirstInsertStillWinsUnderTheCap) {
+  GraphCache cache(/*max_entries=*/2);
+  auto first = TinyCompleteGraph();
+  auto second = TinyCompleteGraph();
+  cache.Insert("key", first);
+  cache.Insert("key", second);  // ignored: first insert wins
+  EXPECT_EQ(cache.Lookup("key").get(), first.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(GraphCacheTest, EvictedEntryIsRebuiltOnTheNextQuery) {
+  // End-to-end: with a cap of 1, alternating queries evict each other's
+  // graphs, and each re-query rebuilds (members_enumerated > 0) with the
+  // same verdict.
+  AllStructuresClass cls(GraphZooSchema());
+  DdsSystem reach = ReachRedSystem();
+  DdsSystem contra = ContradictionSystem();
+  GraphCache cache(/*max_entries=*/1);
+  SolveOptions options;
+  options.build_witness = false;
+  options.cache = &cache;
+
+  SolveResult r1 = SolveEmptiness(reach, cls, options);
+  SolveResult r2 = SolveEmptiness(contra, cls, options);  // evicts reach
+  EXPECT_EQ(cache.evictions(), 1u);
+  SolveResult r3 = SolveEmptiness(reach, cls, options);   // rebuilt
+  EXPECT_FALSE(r3.stats.graph_from_cache);
+  EXPECT_GT(r3.stats.members_enumerated, 0u);
+  EXPECT_EQ(r3.nonempty, r1.nonempty);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
 TEST(GraphCacheTest, RefusesPartialGraphs) {
   // Streaming graphs from an early-exited on-the-fly run are incomplete;
   // caching one would poison every later query.
