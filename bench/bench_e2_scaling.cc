@@ -218,19 +218,24 @@ std::vector<BenchRow> ParseBenchJson(const std::string& path) {
 
 // Prints the per-benchmark delta of the fresh run against the committed
 // baseline (bench/e2_baseline.json) — the perf trajectory successive PRs
-// compare against. Refresh the baseline by copying a fresh BENCH_e2.json
-// over it.
-void PrintBaselineDelta(const std::string& fresh_path,
-                        const std::string& baseline_path) {
+// compare against — and returns the worst regression in percent (0 when
+// nothing regressed or nothing was comparable). Refresh the baseline by
+// copying a fresh BENCH_e2.json over it. Rows with a sub-0.1 ms baseline
+// are printed but excluded from the regression verdict: at that scale the
+// delta is timer noise, not trajectory.
+double PrintBaselineDelta(const std::string& fresh_path,
+                          const std::string& baseline_path) {
   std::vector<BenchRow> fresh = ParseBenchJson(fresh_path);
   std::vector<BenchRow> baseline = ParseBenchJson(baseline_path);
-  if (fresh.empty()) return;
+  if (fresh.empty()) return 0.0;
   if (baseline.empty()) {
     std::printf("\nNo baseline at %s; commit a fresh BENCH_e2.json there to "
                 "start the trajectory.\n",
                 baseline_path.c_str());
-    return;
+    return 0.0;
   }
+  constexpr double kNoiseFloorMs = 0.1;
+  double worst_regress_pct = 0.0;
   std::printf("\nDelta vs committed baseline (%s), real time [ms]:\n",
               baseline_path.c_str());
   for (const BenchRow& row : fresh) {
@@ -245,11 +250,16 @@ void PrintBaselineDelta(const std::string& fresh_path,
       std::printf("  %-44s %31s %10.3f\n", row.name.c_str(), "(new)",
                   row.real_time);
     } else if (prev->real_time > 0) {
+      const double pct =
+          100.0 * (row.real_time - prev->real_time) / prev->real_time;
       std::printf("  %-44s %10.3f -> %10.3f  (%+6.1f%%)\n", row.name.c_str(),
-                  prev->real_time, row.real_time,
-                  100.0 * (row.real_time - prev->real_time) / prev->real_time);
+                  prev->real_time, row.real_time, pct);
+      if (prev->real_time >= kNoiseFloorMs && pct > worst_regress_pct) {
+        worst_regress_pct = pct;
+      }
     }
   }
+  return worst_regress_pct;
 }
 
 }  // namespace
@@ -284,10 +294,24 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   if (!has_out) {
 #ifdef AMALGAM_E2_BASELINE
-    PrintBaselineDelta("BENCH_e2.json", AMALGAM_E2_BASELINE);
+    const double worst = PrintBaselineDelta("BENCH_e2.json",
+                                            AMALGAM_E2_BASELINE);
 #else
-    PrintBaselineDelta("BENCH_e2.json", "../bench/e2_baseline.json");
+    const double worst = PrintBaselineDelta("BENCH_e2.json",
+                                            "../bench/e2_baseline.json");
 #endif
+    // Opt-in perf gate (CI sets AMALGAM_E2_MAX_REGRESS_PCT=25): a
+    // regression past the threshold fails the run instead of just printing.
+    if (const char* gate = std::getenv("AMALGAM_E2_MAX_REGRESS_PCT")) {
+      const double threshold = std::atof(gate);
+      if (threshold > 0 && worst > threshold) {
+        std::fprintf(stderr,
+                     "\nFAIL: worst benchmark regression %+.1f%% exceeds the "
+                     "%.0f%% gate (AMALGAM_E2_MAX_REGRESS_PCT)\n",
+                     worst, threshold);
+        return 1;
+      }
+    }
   }
   return 0;
 }

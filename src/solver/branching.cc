@@ -1,6 +1,7 @@
 #include "solver/branching.h"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -24,7 +25,8 @@ void BranchingSystem::AddRule(int from, std::vector<Branch> branches) {
 BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
                                              const FraisseClass& cls,
                                              GraphCache* cache,
-                                             int num_threads) {
+                                             int num_threads,
+                                             const std::string& store_dir) {
   const DdsSystem& skel = system.skeleton();
   // The guard set, flattened in (rule, branch) order: the graph's guard
   // indices are flattened branch ids.
@@ -45,16 +47,36 @@ BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
   BranchingSolveResult result;
 
   // The sub-transition graph: cache-served, or built eagerly (backward
-  // fixpoints need the complete graph) and stored for the next query.
+  // fixpoints need the complete graph) and stored for the next query. A
+  // partial entry — left by an early-exited linear query over the same
+  // guard set, possibly in another process via the store — is resumed
+  // from its cursor on a private copy rather than rebuilt.
+  std::optional<GraphCache> store_only_cache;
+  if (!store_dir.empty()) {
+    if (!cache) {
+      store_only_cache.emplace();
+      cache = &*store_only_cache;
+    }
+    cache->AttachStore(store_dir);
+  }
   std::shared_ptr<const SubTransitionGraph> graph;
+  std::shared_ptr<SubTransitionGraph> resumed;
   std::string cache_key;
   if (cache) {
     cache_key = GraphCache::Key(cls, k, guards);
-    graph = cache->Lookup(cache_key);
-    result.stats.graph_from_cache = graph != nullptr;
+    std::shared_ptr<const SubTransitionGraph> hit =
+        cache->Lookup(cache_key, cls.schema(), guards, k);
+    result.stats.graph_from_cache = hit != nullptr;
+    if (hit && hit->complete()) {
+      graph = std::move(hit);
+    } else if (hit) {
+      resumed = std::make_shared<SubTransitionGraph>(*hit);
+      result.stats.graph_resumed = true;
+    }
   }
   if (!graph) {
-    auto built = std::make_shared<SubTransitionGraph>(guards, k);
+    auto built = resumed ? std::move(resumed)
+                         : std::make_shared<SubTransitionGraph>(guards, k);
     if (num_threads > 1) {
       built->BuildFullParallel(cls, num_threads, result.stats);
     } else {

@@ -13,6 +13,7 @@
 #ifndef AMALGAM_SOLVER_BRANCHING_H_
 #define AMALGAM_SOLVER_BRANCHING_H_
 
+#include <string>
 #include <vector>
 
 #include "fraisse/fraisse_class.h"
@@ -72,16 +73,23 @@ struct BranchingSolveResult {
 /// Decides: is there a database in `cls` driving a finite accepting run
 /// tree of `system`? Routes through the shared SubTransitionGraph (the
 /// same interner and edge store as the linear engine); when `cache` is
-/// given, a complete graph for (class fingerprint, k, guard set) is reused
-/// or stored, so a repeated query reports stats.members_enumerated == 0.
-/// `num_threads` > 1 shards the joint-member sweep of a fresh build across
-/// worker threads (BuildFullParallel); the deterministic merge keeps the
-/// graph — and hence the fixpoint and the verdict — identical to a serial
-/// build.
+/// given, the complete graph for (class fingerprint, k, guard set) is
+/// reused or stored, so a repeated query reports
+/// stats.members_enumerated == 0 — and a *partial* entry left by an
+/// early-exited linear query over the same guard set is resumed from its
+/// cursor to completion (the backward fixpoint needs the whole relation)
+/// rather than rebuilt. A non-empty `store_dir` attaches the disk tier
+/// (GraphCache::AttachStore; with a null `cache`, a private per-query
+/// cache fronts it), so the graph persists across processes.
+/// `num_threads` > 1 shards the joint-member sweep of a fresh or resumed
+/// build across worker threads (BuildFullParallel); the deterministic
+/// merge keeps the graph — and hence the fixpoint and the verdict —
+/// identical to a serial build.
 BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
                                              const FraisseClass& cls,
                                              GraphCache* cache = nullptr,
-                                             int num_threads = 1);
+                                             int num_threads = 1,
+                                             const std::string& store_dir = "");
 
 }  // namespace amalgam
 

@@ -1,8 +1,31 @@
 #include "solver/cache.h"
 
 #include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "solver/store.h"
 
 namespace amalgam {
+
+namespace {
+
+// The replacement order for entries sharing a key: cursor phase, cursor
+// position, then edge count (a mid-member early exit records edges without
+// advancing the cursor). Strictly-greater progress replaces the incumbent.
+bool StrictlyFurtherAlong(const SubTransitionGraph& incumbent,
+                          const SubTransitionGraph& candidate) {
+  const BuildCursor& a = incumbent.cursor();
+  const BuildCursor& b = candidate.cursor();
+  return std::tie(a.phase, a.next_member) < std::tie(b.phase, b.next_member) ||
+         (a == b && incumbent.num_edges() < candidate.num_edges());
+}
+
+}  // namespace
+
+GraphCache::GraphCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+GraphCache::~GraphCache() = default;
 
 std::string GraphCache::Key(const SolverBackend& backend, int k,
                             std::span<const FormulaRef> guards) {
@@ -28,6 +51,17 @@ std::string GraphCache::Key(const SolverBackend& backend, int k,
   return key;
 }
 
+void GraphCache::AttachStore(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_ && store_->dir() == dir) return;
+  store_ = std::make_unique<GraphStore>(dir);
+}
+
+bool GraphCache::has_store() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_ != nullptr;
+}
+
 std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
     const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -45,20 +79,63 @@ std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
   return it->second.graph;
 }
 
+std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
+    const std::string& key, const SchemaRef& schema,
+    std::span<const FormulaRef> guards, int k) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = graphs_.find(key);
+  if (it != graphs_.end()) {
+    ++hits_;
+    if (it->second.lru_pos != lru_.begin()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    }
+    return it->second.graph;
+  }
+  if (store_) {
+    GraphStore::LoadResult loaded = store_->Load(key, schema, guards, k);
+    if (loaded.graph) {
+      ++hits_;
+      ++store_loads_;
+      std::shared_ptr<const SubTransitionGraph> graph = std::move(loaded.graph);
+      InsertLocked(key, graph, /*write_store=*/false);
+      return graph;
+    }
+    if (loaded.file_found) ++store_load_failures_;
+  }
+  ++misses_;
+  return nullptr;
+}
+
 void GraphCache::Insert(const std::string& key,
                         std::shared_ptr<const SubTransitionGraph> graph) {
-  if (!graph || !graph->complete()) {
-    throw std::invalid_argument("GraphCache only stores complete graphs");
+  if (!graph) {
+    throw std::invalid_argument("GraphCache cannot store a null graph");
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  if (graphs_.find(key) != graphs_.end()) return;  // first insert wins
-  if (max_entries_ > 0 && graphs_.size() >= max_entries_) {
-    graphs_.erase(lru_.back());
-    lru_.pop_back();
-    ++evictions_;
+  InsertLocked(key, std::move(graph), /*write_store=*/true);
+}
+
+bool GraphCache::InsertLocked(const std::string& key,
+                              std::shared_ptr<const SubTransitionGraph> graph,
+                              bool write_store) {
+  auto it = graphs_.find(key);
+  if (it != graphs_.end()) {
+    if (!StrictlyFurtherAlong(*it->second.graph, *graph)) return false;
+    it->second.graph = graph;
+    if (it->second.lru_pos != lru_.begin()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    }
+  } else {
+    if (max_entries_ > 0 && graphs_.size() >= max_entries_) {
+      graphs_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.push_front(key);
+    graphs_.emplace(key, Entry{graph, lru_.begin()});
   }
-  lru_.push_front(key);
-  graphs_.emplace(key, Entry{std::move(graph), lru_.begin()});
+  if (write_store && store_ && store_->Save(key, *graph)) ++store_writes_;
+  return true;
 }
 
 std::size_t GraphCache::size() const {

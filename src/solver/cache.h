@@ -1,18 +1,29 @@
-// Cross-query caching of complete sub-transition graphs.
+// Cross-query caching of sub-transition graphs, with an optional disk tier.
 //
-// A complete SubTransitionGraph depends only on the class of databases, the
-// register count and the guard set — not on the control skeleton (states,
+// A SubTransitionGraph depends only on the class of databases, the register
+// count and the guard set — not on the control skeleton (states,
 // initial/accepting flags, rule endpoints) of the system that asked for it.
 // Repeated emptiness queries over the same (class, k, guards) therefore
-// never need to re-enumerate the class: the interned shape arena, the edge
-// store and the witness steps are all reusable as-is, and the second query
-// reports SolveStats::members_enumerated == 0.
+// reuse the interned shape arena, the edge store and the witness steps
+// as-is: a complete cached graph serves any query with
+// SolveStats::members_enumerated == 0, and a *partial* one — persisted by
+// an early-exited on-the-fly build together with its BuildCursor — lets
+// the next query resume the member sweep where it stopped instead of
+// rebuilding from scratch. Completeness is not a precondition for caching;
+// it is the final cursor state.
 //
 // Keys are built from SolverBackend::Fingerprint() (a stable serialization
 // of the class's identity implemented by every backend), the register
-// count, and the printed guard formulas. Entries are immutable complete
-// graphs held by shared_ptr, so lookups can outlive the cache and
-// concurrent readers need no coordination beyond the map mutex.
+// count, and the printed guard formulas. Entries are immutable graphs held
+// by shared_ptr, so lookups can outlive the cache and concurrent readers
+// need no coordination beyond the map mutex; resuming a partial entry
+// always happens on a private copy.
+//
+// AttachStore(dir) adds a disk tier (solver/store.h): memory misses fall
+// through to a load from `dir`, and accepted inserts are written back, so
+// a fresh process — or a different machine sharing the directory — starts
+// with the previous trajectory instead of an empty cache. Corrupt or
+// truncated files fail soft: the query rebuilds and overwrites them.
 #ifndef AMALGAM_SOLVER_CACHE_H_
 #define AMALGAM_SOLVER_CACHE_H_
 
@@ -28,31 +39,58 @@
 
 namespace amalgam {
 
-/// A keyed store of complete sub-transition graphs. Thread-safe; share one
-/// cache across all queries that may repeat a (class, k, guard set).
-/// Optionally capped: with `max_entries` > 0 the least-recently-hit entry
-/// is evicted when an insert would exceed the cap (entries handed out by
-/// Lookup stay alive through their shared_ptr regardless).
+class GraphStore;
+
+/// A keyed store of sub-transition graphs (complete or partial).
+/// Thread-safe; share one cache across all queries that may repeat a
+/// (class, k, guard set). Optionally capped: with `max_entries` > 0 the
+/// least-recently-hit entry is evicted when an insert would exceed the cap
+/// (entries handed out by Lookup stay alive through their shared_ptr
+/// regardless). Optionally disk-backed via AttachStore.
 class GraphCache {
  public:
   /// `max_entries` == 0 (the default) means unbounded — the historical
   /// behavior; a long-lived service should set a cap.
-  explicit GraphCache(std::size_t max_entries = 0)
-      : max_entries_(max_entries) {}
+  explicit GraphCache(std::size_t max_entries = 0);
+  ~GraphCache();
 
   /// The cache key for a query: backend fingerprint + register count +
   /// printed guard set.
   static std::string Key(const SolverBackend& backend, int k,
                          std::span<const FormulaRef> guards);
 
-  /// The cached complete graph for `key`, or nullptr. Counts a hit/miss;
-  /// a hit freshens the entry's eviction rank.
+  /// Attaches the disk tier rooted at `dir` (created if absent; throws
+  /// std::runtime_error when that fails). Re-attaching the same directory
+  /// is a no-op; a different directory replaces the tier. The disk cap is
+  /// the filesystem's — the LRU cap governs memory only, and evicted
+  /// entries remain loadable from disk.
+  void AttachStore(const std::string& dir);
+  bool has_store() const;
+
+  /// The cached graph for `key` from the memory tier only, or nullptr.
+  /// Counts a hit/miss; a hit freshens the entry's eviction rank.
   std::shared_ptr<const SubTransitionGraph> Lookup(const std::string& key);
 
-  /// Stores a complete graph under `key` (first insert wins), evicting the
-  /// least-recently-hit entry if a cap is set and reached. Throws
-  /// std::invalid_argument if the graph is not complete — partial graphs
-  /// from an early-exited on-the-fly run must never be reused.
+  /// As above, but a memory miss falls through to the attached store (if
+  /// any): a successful load — `schema`, `guards` and `k` supply the
+  /// deserialization context, which the caller owns because it also built
+  /// `key` — is promoted into the memory tier and counts as a hit. A
+  /// missing, corrupt or truncated file counts as a miss (plus
+  /// store_load_failures() when a file was present) and the caller builds
+  /// fresh. The returned graph may be partial — check complete() and
+  /// resume from cursor() on a copy.
+  std::shared_ptr<const SubTransitionGraph> Lookup(
+      const std::string& key, const SchemaRef& schema,
+      std::span<const FormulaRef> guards, int k);
+
+  /// Stores a graph under `key`, evicting the least-recently-hit entry if
+  /// a cap is set and reached. Partial graphs are first-class entries; an
+  /// incumbent is replaced only by a strictly further-along graph
+  /// (lexicographically by cursor phase, cursor position, edge count), so
+  /// a complete entry is never downgraded and re-inserting equal progress
+  /// is a no-op ("first insert wins" for complete graphs, as before).
+  /// Accepted inserts are written through to the attached store. Throws
+  /// std::invalid_argument on a null graph.
   void Insert(const std::string& key,
               std::shared_ptr<const SubTransitionGraph> graph);
 
@@ -68,6 +106,22 @@ class GraphCache {
     std::lock_guard<std::mutex> lock(mutex_);
     return evictions_;
   }
+  /// Graphs deserialized from the disk tier.
+  std::uint64_t store_loads() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return store_loads_;
+  }
+  /// Store files present but unreadable (truncated, corrupt, key or schema
+  /// mismatch, version skew); each one fell back to a fresh build.
+  std::uint64_t store_load_failures() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return store_load_failures_;
+  }
+  /// Graphs written through to the disk tier.
+  std::uint64_t store_writes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return store_writes_;
+  }
   std::size_t max_entries() const { return max_entries_; }
   std::size_t size() const;
 
@@ -79,15 +133,26 @@ class GraphCache {
     std::list<std::string>::iterator lru_pos;
   };
 
+  /// The shared insert path; `write_store` distinguishes fresh results
+  /// (written through) from graphs just loaded off disk (not rewritten).
+  /// Returns true when the entry was accepted. Caller holds mutex_.
+  bool InsertLocked(const std::string& key,
+                    std::shared_ptr<const SubTransitionGraph> graph,
+                    bool write_store);
+
   mutable std::mutex mutex_;
   const std::size_t max_entries_;
   std::unordered_map<std::string, Entry> graphs_;
   // Recency order, most recently hit/inserted first; entries hold their
   // own key so eviction can erase from the map.
   std::list<std::string> lru_;
+  std::unique_ptr<GraphStore> store_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t store_loads_ = 0;
+  std::uint64_t store_load_failures_ = 0;
+  std::uint64_t store_writes_ = 0;
 };
 
 }  // namespace amalgam

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
@@ -55,6 +56,62 @@ bool SweepJointMember(const std::vector<FormulaRef>& guards, int k,
 SubTransitionGraph::SubTransitionGraph(std::vector<FormulaRef> guards, int k)
     : guards_(std::move(guards)), k_(k), seen_(guards_.size()) {}
 
+std::shared_ptr<SubTransitionGraph> SubTransitionGraph::FromParts(
+    std::vector<FormulaRef> guards, int k, std::vector<CanonicalForm> shapes,
+    std::vector<int> initial_shapes, std::vector<SubTransition> steps,
+    std::vector<std::vector<Edge>> edges_by_shape, BuildCursor cursor) {
+  const int num_shapes = static_cast<int>(shapes.size());
+  const int num_steps = static_cast<int>(steps.size());
+  const int num_guards = static_cast<int>(guards.size());
+  if (cursor.phase > kCursorPhaseComplete) return nullptr;
+  if (edges_by_shape.size() != shapes.size()) return nullptr;
+
+  auto graph = std::make_shared<SubTransitionGraph>(std::move(guards), k);
+  if (!graph->interner_.RestoreShapes(std::move(shapes))) return nullptr;
+
+  graph->is_initial_.assign(num_shapes, 0);
+  for (int shape : initial_shapes) {
+    if (shape < 0 || shape >= num_shapes) return nullptr;
+    if (graph->is_initial_[shape]) return nullptr;  // duplicates are corrupt
+    graph->is_initial_[shape] = 1;
+  }
+  graph->initial_shapes_ = std::move(initial_shapes);
+
+  std::uint64_t num_edges = 0;
+  for (int s = 0; s < num_shapes; ++s) {
+    for (const Edge& e : edges_by_shape[s]) {
+      if (e.guard < 0 || e.guard >= num_guards) return nullptr;
+      if (e.new_shape < 0 || e.new_shape >= num_shapes) return nullptr;
+      if (e.step < 0 || e.step >= num_steps) return nullptr;
+      // Rebuild the per-guard dedup sets; a repeated (guard, old, new)
+      // triple can only come from a corrupt payload.
+      if (!graph->seen_[e.guard]
+               .insert(PackShapePair(s, e.new_shape))
+               .second) {
+        return nullptr;
+      }
+      ++num_edges;
+    }
+  }
+  if (num_edges != static_cast<std::uint64_t>(num_steps)) return nullptr;
+  for (const SubTransition& st : steps) {
+    if (st.rule < 0 || st.rule >= num_guards) return nullptr;
+    if (st.marks.size() != static_cast<std::size_t>(2 * k)) return nullptr;
+  }
+  graph->edges_by_shape_ = std::move(edges_by_shape);
+  graph->steps_ = std::move(steps);
+  graph->num_edges_ = num_edges;
+  graph->cursor_ = cursor;
+  return graph;
+}
+
+void SubTransitionGraph::AdvanceCursorTo(const BuildCursor& c) {
+  if (c < cursor_) {
+    throw std::logic_error("SubTransitionGraph cursor moved backwards");
+  }
+  cursor_ = c;
+}
+
 int SubTransitionGraph::AddInitialMember(const Structure& d,
                                          std::span<const Elem> marks) {
   const int shape = interner_.Intern(d, marks);
@@ -106,43 +163,68 @@ bool SubTransitionGraph::ProcessJointMember(const Structure& d,
 void SubTransitionGraph::SweepInitialMembers(const SolverBackend& backend,
                                              SolveStats& stats,
                                              std::uint64_t max_shapes) {
-  backend.EnumerateGenerated(
-      k_, [&](const Structure& d, std::span<const Elem> marks) {
+  backend.EnumerateGeneratedFrom(
+      k_, cursor_.next_member,
+      [&](const Structure& d, std::span<const Elem> marks,
+          std::uint64_t stream_index) {
         ++stats.members_enumerated;
         AddInitialMember(d, marks);
+        cursor_.next_member = stream_index + 1;
         if (static_cast<std::uint64_t>(interner_.size()) > max_shapes) {
           throw std::runtime_error(
               "emptiness solver exceeded the configuration cap");
         }
+        return true;
       });
+  cursor_ = BuildCursor{kCursorPhaseJoint, 0};
 }
 
 void SubTransitionGraph::BuildFull(const SolverBackend& backend,
                                    SolveStats& stats,
                                    std::uint64_t max_shapes) {
-  SweepInitialMembers(backend, stats, max_shapes);
-  backend.EnumerateGenerated(
-      2 * k_, [&](const Structure& d, std::span<const Elem> marks) {
+  if (complete()) return;
+  // Report only this build's canonicalization savings: a graph resumed
+  // from an in-process partial entry arrives with its suspended builder's
+  // counter.
+  const std::uint64_t raw_hits_before = interner_.raw_hits();
+  if (cursor_.phase == kCursorPhaseInitial) {
+    SweepInitialMembers(backend, stats, max_shapes);
+  }
+  backend.EnumerateGeneratedFrom(
+      2 * k_, cursor_.next_member,
+      [&](const Structure& d, std::span<const Elem> marks,
+          std::uint64_t stream_index) {
         ++stats.members_enumerated;
         ProcessJointMember(d, marks, stats, nullptr);
+        cursor_.next_member = stream_index + 1;
         if (static_cast<std::uint64_t>(interner_.size()) > max_shapes) {
           throw std::runtime_error(
               "emptiness solver exceeded the configuration cap");
         }
+        return true;
       });
-  stats.raw_memo_hits = interner_.raw_hits();
-  complete_ = true;
+  stats.raw_memo_hits = interner_.raw_hits() - raw_hits_before;
+  cursor_ = BuildCursor{kCursorPhaseComplete, 0};
 }
 
 void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
                                            int n_threads, SolveStats& stats,
                                            std::uint64_t max_shapes) {
+  if (complete()) return;
+  const std::uint64_t raw_hits_before = interner_.raw_hits();
   const int num_workers = std::max(1, n_threads);
 
   // Phase 0 — initial members. The k-generated stream is a small fraction
   // of the 2k joint stream, so it stays on the calling thread and interns
   // straight into the shared graph (identical to BuildFull).
-  SweepInitialMembers(backend, stats, max_shapes);
+  if (cursor_.phase == kCursorPhaseInitial) {
+    SweepInitialMembers(backend, stats, max_shapes);
+  }
+  // Members before this position were already processed by the suspended
+  // build this graph resumes; their shapes and edges are present and the
+  // workers must skip them (the member at the position itself may have
+  // been half-swept and is re-processed — the merge dedups).
+  const std::uint64_t joint_start = cursor_.next_member;
 
   // Phase 1 — the joint-member sweep, sharded. Each worker owns a disjoint
   // slice of the 2k stream and touches only its own buffers: a staging
@@ -174,6 +256,7 @@ void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
           2 * k_, num_workers, w,
           [&](const Structure& d, std::span<const Elem> marks,
               std::uint64_t stream_index) {
+            if (stream_index < joint_start) return true;
             ++wk.stats.members_enumerated;
             SweepJointMember(
                 guards_, k_, d, marks, wk.stats,
@@ -282,11 +365,11 @@ void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
     ++stats.edges;
   }
 
-  stats.raw_memo_hits = interner_.raw_hits();
+  stats.raw_memo_hits = interner_.raw_hits() - raw_hits_before;
   for (const StagingInterner& s : stagings) {
     stats.raw_memo_hits += s.raw_hits();
   }
-  complete_ = true;
+  cursor_ = BuildCursor{kCursorPhaseComplete, 0};
 }
 
 }  // namespace amalgam

@@ -46,6 +46,15 @@ int ConfigInterner::InternCanonical(const CanonicalForm& canon) {
   return id;
 }
 
+bool ConfigInterner::RestoreShapes(std::vector<CanonicalForm> shapes) {
+  if (!shapes_.empty()) return false;
+  for (CanonicalForm& form : shapes) {
+    const int expected = static_cast<int>(shapes_.size());
+    if (InternCanonical(std::move(form)) != expected) return false;
+  }
+  return true;
+}
+
 int ConfigInterner::Intern(const Structure& s, std::span<const Elem> marks) {
   std::string raw = RawKey(s, marks);
   const std::size_t raw_hash = HashRange(raw.begin(), raw.end());

@@ -1,0 +1,115 @@
+// Persistent storage of sub-transition graphs (solver/graph.h).
+//
+// The complete graph for a (backend fingerprint, k, guard set) is the
+// solver's expensive artifact; this module lets it outlive the process. A
+// GraphStore is a directory holding one file per cache key, written
+// atomically (temp file + rename) and read back into a SubTransitionGraph
+// whose resumed or cached behavior is indistinguishable from the original:
+// serialize/deserialize/serialize is byte-identical, and a restored
+// *partial* graph (its BuildCursor travels with it) resumes its member
+// sweep exactly where the suspended build stopped.
+//
+// File format, version 1 — everything after the magic is varint-coded with
+// the same LEB128 encoding as AppendFullWidth (base/structure.h), so the
+// file shares its vocabulary with the canonical keys it contains:
+//
+//   "AMGS" magic, varint format version (= 1)
+//   varint key length, key bytes        (the GraphCache key, verified on load)
+//   varint k, varint guard count        (verified against the loading query)
+//   varint cursor phase, varint cursor next_member, varint edge count
+//                                       (progress header — lets Save compare
+//                                       two files without parsing the body)
+//   schema block: #relations, per symbol (name length, name, arity);
+//                 #functions likewise    (verified against the backend schema)
+//   shape block:  #shapes, per shape its Structure content (EncodeContent
+//                 bytes — decoded, not just compared), marks, canonical key,
+//                 canonical permutation
+//   varint #initial shapes, their ids
+//   step block:   #steps, per step (guard, joint Structure content, 2k marks)
+//   edge block:   per shape (#edges, per edge guard, new shape, step id)
+//   8-byte little-endian FNV-1a checksum of all preceding bytes
+//
+// Guards are NOT serialized: the key already pins the printed guard set,
+// and the loading query supplies the live FormulaRefs — so the store never
+// needs a formula parser, and a key match guarantees the guards line up.
+// Every read is bounds-checked and every index validated; any mismatch
+// (truncation, corruption, key/schema drift, version skew) makes the load
+// fail soft — the caller falls back to a fresh build.
+#ifndef AMALGAM_SOLVER_STORE_H_
+#define AMALGAM_SOLVER_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "solver/graph.h"
+
+namespace amalgam {
+
+/// The serialization format version written by SerializeGraph and required
+/// by DeserializeGraph. Bump on any layout change; old files then fail
+/// soft (rebuild) instead of being misread.
+inline constexpr std::uint32_t kGraphStoreFormatVersion = 1;
+
+/// Serializes `graph` (complete or partial) under its cache key. The
+/// output is a pure function of the graph's logical content — two
+/// bit-identical graphs serialize identically.
+std::string SerializeGraph(const SubTransitionGraph& graph,
+                           std::string_view key);
+
+/// Parses `bytes` back into a graph. `schema` becomes the schema of every
+/// reconstructed structure (the file's schema block must match it
+/// structurally); `guards`/`k` come from the loading query and must match
+/// the serialized counts. Returns nullptr on any validation failure.
+std::shared_ptr<SubTransitionGraph> DeserializeGraph(
+    std::string_view bytes, std::string_view key, const SchemaRef& schema,
+    std::span<const FormulaRef> guards, int k);
+
+/// A directory of serialized graphs, one file per cache key (file names
+/// are a hash of the key; the key stored inside the file disambiguates
+/// hash collisions, which simply behave as misses). All methods are
+/// const and touch only the filesystem; GraphCache serializes access
+/// through its own mutex — see the README's threading notes for the
+/// cross-process story (atomic renames; torn readers rebuild).
+class GraphStore {
+ public:
+  /// Creates `dir` (recursively) if it does not exist. Throws
+  /// std::runtime_error when the directory cannot be created.
+  explicit GraphStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// The file a given key persists to.
+  std::string PathFor(const std::string& key) const;
+
+  struct LoadResult {
+    std::shared_ptr<SubTransitionGraph> graph;  // nullptr on miss/corrupt
+    /// True when a file was present for the key — with a null graph this
+    /// means the file was unreadable or failed validation, which callers
+    /// surface as a load failure rather than a plain miss.
+    bool file_found = false;
+  };
+
+  /// Reads and validates the graph persisted under `key`.
+  LoadResult Load(const std::string& key, const SchemaRef& schema,
+                  std::span<const FormulaRef> guards, int k) const;
+
+  /// Persists `graph` under `key` via an atomic rename — but only when it
+  /// is strictly further along (by cursor, then edge count — the same
+  /// order GraphCache::Insert replaces entries by) than the valid file
+  /// already there, so a less-explored graph never clobbers progress
+  /// persisted by another process. Corrupt/torn incumbents are always
+  /// overwritten. Returns true only when a file was actually written;
+  /// false means the write failed or was skipped in favor of the
+  /// further-along incumbent.
+  bool Save(const std::string& key, const SubTransitionGraph& graph) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SOLVER_STORE_H_

@@ -9,7 +9,8 @@ TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
                                    int witness_size_cap,
                                    int extra_pattern_cap,
                                    SolveStrategy strategy,
-                                   GraphCache* cache, int num_threads) {
+                                   GraphCache* cache, int num_threads,
+                                   const std::string& store_dir) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "tree emptiness requires at least one register");
@@ -20,6 +21,7 @@ TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
   options.strategy = strategy;
   options.cache = cache;
   options.num_threads = num_threads;
+  options.store_dir = store_dir;
   SolveResult generic = SolveEmptiness(system, cls, options);
   TreeSolveResult result;
   result.nonempty = generic.nonempty;

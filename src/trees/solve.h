@@ -5,6 +5,7 @@
 #define AMALGAM_TREES_SOLVE_H_
 
 #include <optional>
+#include <string>
 
 #include "solver/emptiness.h"
 #include "trees/run_class.h"
@@ -33,16 +34,20 @@ struct TreeSolveResult {
 /// Treedb(t)? `witness_size_cap` bounds the post-hoc concrete witness
 /// search (0 disables it). Routes through the shared exploration engine;
 /// `strategy` selects on-the-fly (default) or the eager reference pipeline.
-/// `cache`, when given, reuses/stores the complete sub-transition graph
-/// keyed by (automaton fingerprint + pattern cap, k, guard set).
-/// `num_threads` > 1 shards complete-graph builds (eager or cache-miss)
-/// across worker threads behind the deterministic merge; verdicts and
-/// graphs match the serial build bit for bit.
+/// `cache`, when given, reuses/stores the sub-transition graph keyed by
+/// (automaton fingerprint + pattern cap, k, guard set); complete entries
+/// serve queries with zero enumeration, partial ones resume from their
+/// cursor. A non-empty `store_dir` persists graphs to disk
+/// (SolveOptions::store_dir) for cross-process reuse. `num_threads` > 1
+/// shards complete-graph builds (the eager strategy) across worker threads
+/// behind the deterministic merge; verdicts and graphs match the serial
+/// build bit for bit.
 TreeSolveResult SolveTreeEmptiness(
     const DdsSystem& system, const TreeAutomaton& automaton,
     int witness_size_cap = 6, int extra_pattern_cap = 4,
     SolveStrategy strategy = SolveStrategy::kOnTheFly,
-    GraphCache* cache = nullptr, int num_threads = 1);
+    GraphCache* cache = nullptr, int num_threads = 1,
+    const std::string& store_dir = "");
 
 /// Brute force: tries every tree with up to `max_size` nodes.
 std::optional<TreeWitness> BruteForceTreeSearch(const DdsSystem& system,

@@ -6,7 +6,8 @@ namespace amalgam {
 
 WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
                                    bool build_witness, SolveStrategy strategy,
-                                   GraphCache* cache, int num_threads) {
+                                   GraphCache* cache, int num_threads,
+                                   const std::string& store_dir) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "word emptiness requires at least one register");
@@ -17,6 +18,7 @@ WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
   options.strategy = strategy;
   options.cache = cache;
   options.num_threads = num_threads;
+  options.store_dir = store_dir;
   SolveResult generic = SolveEmptiness(system, cls, options);
   WordSolveResult result;
   result.nonempty = generic.nonempty;

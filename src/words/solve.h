@@ -5,6 +5,7 @@
 #define AMALGAM_WORDS_SOLVE_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "solver/emptiness.h"
@@ -34,16 +35,20 @@ struct WordSolveResult {
 /// anchor argument; with zero registers the problem degenerates to graph
 /// reachability anyway). Routes through the shared exploration engine;
 /// `strategy` selects on-the-fly (default) or the eager reference pipeline.
-/// `cache`, when given, reuses/stores the complete sub-transition graph
-/// keyed by (automaton fingerprint, k, guard set) — repeated queries over
-/// the same automaton skip run-pattern enumeration entirely. `num_threads`
-/// > 1 shards complete-graph builds (eager or cache-miss) across worker
-/// threads behind the deterministic merge; verdicts and graphs match the
-/// serial build bit for bit.
+/// `cache`, when given, reuses/stores the sub-transition graph keyed by
+/// (automaton fingerprint, k, guard set) — a complete entry lets repeated
+/// queries skip run-pattern enumeration entirely, and a partial entry
+/// (early-exited earlier build) is resumed from its cursor. A non-empty
+/// `store_dir` persists graphs to disk (SolveOptions::store_dir), so the
+/// reuse also works in a fresh process. `num_threads` > 1 shards
+/// complete-graph builds (the eager strategy) across worker threads behind
+/// the deterministic merge; verdicts and graphs match the serial build bit
+/// for bit.
 WordSolveResult SolveWordEmptiness(
     const DdsSystem& system, const Nfa& nfa, bool build_witness = true,
     SolveStrategy strategy = SolveStrategy::kOnTheFly,
-    GraphCache* cache = nullptr, int num_threads = 1);
+    GraphCache* cache = nullptr, int num_threads = 1,
+    const std::string& store_dir = "");
 
 /// Brute-force reference: tries every word of length 1..max_len, returning
 /// the first word of the language driving an accepting run.

@@ -70,7 +70,12 @@ TEST(GraphCacheTest, CachedVerdictsMatchUncachedAcrossTheZoo) {
 TEST(GraphCacheTest, GraphIsSharedAcrossSystemsWithTheSameGuardSet) {
   // The cached graph depends on the guard set, not the control skeleton:
   // two systems with identical guards but different accepting states share
-  // one graph and still get their own verdicts.
+  // one graph and still get their own verdicts. The first (nonempty) query
+  // early-exits and caches a *partial* graph; the second system's empty
+  // verdict needs the whole class, so its query resumes from the cursor —
+  // enumerating strictly fewer members than a cold build — and upgrades
+  // the entry to complete, which then serves a third query with zero
+  // enumeration.
   AllStructuresClass cls(GraphZooSchema());
   GraphCache cache;
   SolveOptions options;
@@ -89,14 +94,32 @@ TEST(GraphCacheTest, GraphIsSharedAcrossSystemsWithTheSameGuardSet) {
   int b2 = dead.AddState("b");  // no accepting state at all
   dead.AddRule(a2, b2, "E(x_old, x_new)");
 
+  SolveOptions uncached;
+  uncached.build_witness = false;
+  const SolveResult cold = SolveEmptiness(dead, cls, uncached);
+  EXPECT_FALSE(cold.nonempty);
+
   SolveResult r1 = SolveEmptiness(reach, cls, options);
   EXPECT_FALSE(r1.stats.graph_from_cache);
   EXPECT_TRUE(r1.nonempty);
+  EXPECT_LT(r1.stats.members_enumerated, cold.stats.members_enumerated)
+      << "the nonempty first query should early-exit";
 
   SolveResult r2 = SolveEmptiness(dead, cls, options);
   EXPECT_TRUE(r2.stats.graph_from_cache);
-  EXPECT_EQ(r2.stats.members_enumerated, 0u);
+  EXPECT_TRUE(r2.stats.graph_resumed);
+  EXPECT_GT(r2.stats.members_enumerated, 0u);
+  EXPECT_LT(r2.stats.members_enumerated, cold.stats.members_enumerated)
+      << "resume must not re-enumerate the persisted prefix";
   EXPECT_FALSE(r2.nonempty);
+  EXPECT_EQ(r2.stats.edges, cold.stats.edges);
+  EXPECT_EQ(r2.stats.configs, cold.stats.configs);
+
+  SolveResult r3 = SolveEmptiness(dead, cls, options);
+  EXPECT_TRUE(r3.stats.graph_from_cache);
+  EXPECT_FALSE(r3.stats.graph_resumed);
+  EXPECT_EQ(r3.stats.members_enumerated, 0u);
+  EXPECT_FALSE(r3.nonempty);
 }
 
 TEST(GraphCacheTest, WordFrontDoorUsesTheCache) {
@@ -207,13 +230,27 @@ TEST(GraphCacheTest, EvictedEntryIsRebuiltOnTheNextQuery) {
   EXPECT_EQ(cache.evictions(), 2u);
 }
 
-TEST(GraphCacheTest, RefusesPartialGraphs) {
-  // Streaming graphs from an early-exited on-the-fly run are incomplete;
-  // caching one would poison every later query.
+TEST(GraphCacheTest, PartialEntriesUpgradeButNeverDowngrade) {
+  // Partial graphs are first-class entries tagged with their cursor; an
+  // insert replaces the incumbent only when strictly further along, so a
+  // complete graph wins over any partial one and is never displaced by a
+  // stale partial re-insert.
   GraphCache cache;
   auto partial = std::make_shared<SubTransitionGraph>(
       std::vector<FormulaRef>{}, 1);
-  EXPECT_THROW(cache.Insert("key", partial), std::invalid_argument);
+  auto complete = TinyCompleteGraph();
+
+  cache.Insert("key", partial);
+  EXPECT_EQ(cache.Lookup("key").get(), partial.get());
+  EXPECT_FALSE(cache.Lookup("key")->complete());
+
+  cache.Insert("key", complete);  // upgrade
+  EXPECT_EQ(cache.Lookup("key").get(), complete.get());
+
+  cache.Insert("key", partial);  // stale partial must not downgrade
+  EXPECT_EQ(cache.Lookup("key").get(), complete.get());
+
+  EXPECT_THROW(cache.Insert("key", nullptr), std::invalid_argument);
 }
 
 TEST(GraphCacheTest, FingerprintsSeparateBackends) {

@@ -254,6 +254,10 @@ TEST(ParallelBuildTest, ParallelBuiltCacheEntryServesSerialQueries) {
   SolveOptions sharded;
   sharded.cache = &cache;
   sharded.num_threads = 4;
+  // kEager: the on-the-fly default would early-exit into a sequentially
+  // built partial graph; the point here is a complete graph built by the
+  // sharded sweep.
+  sharded.strategy = SolveStrategy::kEager;
   SolveResult first = SolveEmptiness(system, cls, sharded);
   EXPECT_FALSE(first.stats.graph_from_cache);
   EXPECT_GT(first.stats.members_enumerated, 0u);
@@ -273,6 +277,7 @@ TEST(ParallelBuildTest, ParallelBuiltCacheEntryServesSerialQueries) {
   GraphCache reverse_cache;
   SolveOptions serial_first;
   serial_first.cache = &reverse_cache;
+  serial_first.strategy = SolveStrategy::kEager;
   SolveEmptiness(system, cls, serial_first);
   SolveOptions sharded_second;
   sharded_second.cache = &reverse_cache;

@@ -1,0 +1,457 @@
+// Tests for the persistent graph store: serialize/deserialize round trips
+// must be byte-identical across the system/words/trees zoos, a complete
+// graph persisted by one "process" (GraphCache instance) must serve a
+// fresh one with zero enumeration, a persisted *partial* graph must resume
+// — enumerating strictly fewer members than a cold build and finishing
+// bit-identical to it — and corrupt or truncated files must fall back to
+// a fresh build instead of crashing.
+//
+// Store directories default to the test temp dir; set AMALGAM_STORE_TEST_DIR
+// to relocate them (CI points it into the build tree and uploads the
+// result as an artifact).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fraisse/relational.h"
+#include "solver/branching.h"
+#include "solver/cache.h"
+#include "solver/emptiness.h"
+#include "solver/store.h"
+#include "system/concrete.h"
+#include "system/zoo.h"
+#include "trees/run_class.h"
+#include "trees/solve.h"
+#include "trees/zoo.h"
+#include "words/run_class.h"
+#include "words/solve.h"
+#include "words/zoo.h"
+
+namespace amalgam {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh, empty store directory for one test. Left in place afterwards so
+// CI can upload the persisted files.
+std::string StoreDir(const std::string& name) {
+  const char* env = std::getenv("AMALGAM_STORE_TEST_DIR");
+  const fs::path base =
+      (env && *env) ? fs::path(env) : fs::path(::testing::TempDir());
+  const fs::path dir = base / ("graph_store_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<FormulaRef> GuardsOf(const DdsSystem& system) {
+  std::vector<FormulaRef> guards;
+  for (const TransitionRule& rule : system.rules()) {
+    guards.push_back(rule.guard);
+  }
+  return guards;
+}
+
+void ExpectRoundTripIdentical(const SubTransitionGraph& graph,
+                              const std::string& key, const SchemaRef& schema,
+                              std::span<const FormulaRef> guards, int k) {
+  const std::string bytes = SerializeGraph(graph, key);
+  std::shared_ptr<SubTransitionGraph> restored =
+      DeserializeGraph(bytes, key, schema, guards, k);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->num_shapes(), graph.num_shapes());
+  EXPECT_EQ(restored->num_edges(), graph.num_edges());
+  EXPECT_EQ(restored->cursor(), graph.cursor());
+  EXPECT_EQ(restored->complete(), graph.complete());
+  EXPECT_EQ(SerializeGraph(*restored, key), bytes)
+      << "serialize(deserialize(bytes)) must be byte-identical";
+}
+
+TEST(StoreTest, CompleteGraphsRoundTripByteIdenticalAcrossTheZoos) {
+  // System zoo over the relational class.
+  AllStructuresClass all(GraphZooSchema());
+  for (const DdsSystem& system :
+       {OddRedCycleSystem(), ReachRedSystem(), ContradictionSystem()}) {
+    std::vector<FormulaRef> guards = GuardsOf(system);
+    const int k = system.num_registers();
+    SubTransitionGraph graph(guards, k);
+    SolveStats stats;
+    graph.BuildFull(all, stats);
+    ExpectRoundTripIdentical(graph, GraphCache::Key(all, k, guards),
+                             all.schema(), guards, k);
+  }
+
+  // Words zoo: run-pattern class of an NFA.
+  {
+    DdsSystem system = ZigZagSystem(1);
+    WordRunClass cls(NfaAPlusBPlus());
+    std::vector<FormulaRef> guards = GuardsOf(system);
+    const int k = system.num_registers();
+    SubTransitionGraph graph(guards, k);
+    SolveStats stats;
+    graph.BuildFull(cls, stats);
+    ExpectRoundTripIdentical(graph, GraphCache::Key(cls, k, guards),
+                             cls.schema(), guards, k);
+  }
+
+  // Trees zoo: run-pattern class of a tree automaton.
+  {
+    TreeAutomaton two = TaTwoLevel();
+    DdsSystem system = DescendSystem(two, 1);
+    TreeRunClass cls(&two, 3);
+    std::vector<FormulaRef> guards = GuardsOf(system);
+    const int k = system.num_registers();
+    SubTransitionGraph graph(guards, k);
+    SolveStats stats;
+    graph.BuildFull(cls, stats);
+    ExpectRoundTripIdentical(graph, GraphCache::Key(cls, k, guards),
+                             cls.schema(), guards, k);
+  }
+}
+
+TEST(StoreTest, PartialGraphsRoundTripWithTheirCursor) {
+  // An early-exited on-the-fly query leaves a partial graph in the cache;
+  // its serialization must carry the cursor and restore bit-identically.
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ReachRedSystem();
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  const int k = system.num_registers();
+  GraphCache cache;
+  SolveOptions options;
+  options.build_witness = false;
+  options.cache = &cache;
+  SolveResult r = SolveEmptiness(system, all, options);
+  ASSERT_TRUE(r.nonempty);
+
+  const std::string key = GraphCache::Key(all, k, guards);
+  std::shared_ptr<const SubTransitionGraph> partial = cache.Lookup(key);
+  ASSERT_NE(partial, nullptr);
+  ASSERT_FALSE(partial->complete()) << "nonempty query should early-exit";
+  EXPECT_GT(partial->num_shapes(), 0);
+  ExpectRoundTripIdentical(*partial, key, all.schema(), guards, k);
+}
+
+TEST(StoreTest, CompleteGraphServesAFreshProcessWithZeroEnumeration) {
+  const std::string dir = StoreDir("fresh_process");
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();  // empty: builds to completion
+
+  SolveOptions first;
+  first.build_witness = false;
+  first.store_dir = dir;
+  SolveResult built = SolveEmptiness(system, all, first);
+  EXPECT_FALSE(built.nonempty);
+  EXPECT_FALSE(built.stats.graph_from_cache);
+  EXPECT_GT(built.stats.members_enumerated, 0u);
+  ASSERT_FALSE(fs::is_empty(dir)) << "the complete graph must be persisted";
+
+  // A fresh process: nothing shared with the first query but the
+  // directory.
+  GraphCache fresh;
+  fresh.AttachStore(dir);
+  SolveOptions second;
+  second.build_witness = false;
+  second.cache = &fresh;
+  SolveResult served = SolveEmptiness(system, all, second);
+  EXPECT_TRUE(served.stats.graph_from_cache);
+  EXPECT_FALSE(served.stats.graph_resumed);
+  EXPECT_EQ(served.stats.members_enumerated, 0u);
+  EXPECT_EQ(served.stats.guard_evaluations, 0u);
+  EXPECT_EQ(served.nonempty, built.nonempty);
+  EXPECT_EQ(served.stats.edges, built.stats.edges);
+  EXPECT_EQ(served.stats.configs, built.stats.configs);
+  EXPECT_EQ(fresh.store_loads(), 1u);
+  EXPECT_EQ(fresh.store_load_failures(), 0u);
+}
+
+TEST(StoreTest, PartialGraphResumesAcrossProcessesWithFewerMembers) {
+  const std::string dir = StoreDir("partial_resume");
+  AllStructuresClass all(GraphZooSchema());
+
+  DdsSystem reach(GraphZooSchema());
+  reach.AddRegister("x");
+  int a1 = reach.AddState("a", true);
+  int b1 = reach.AddState("b", false, true);
+  reach.AddRule(a1, b1, "E(x_old, x_new)");
+
+  DdsSystem dead(GraphZooSchema());
+  dead.AddRegister("x");
+  int a2 = dead.AddState("a", true);
+  int b2 = dead.AddState("b");
+  dead.AddRule(a2, b2, "E(x_old, x_new)");
+
+  SolveOptions plain;
+  plain.build_witness = false;
+  const SolveResult cold = SolveEmptiness(dead, all, plain);
+  ASSERT_GT(cold.stats.members_enumerated, 0u);
+
+  // Process 1: nonempty query early-exits; the partial graph hits disk.
+  GraphCache writer;
+  writer.AttachStore(dir);
+  SolveOptions first = plain;
+  first.cache = &writer;
+  SolveResult r1 = SolveEmptiness(reach, all, first);
+  EXPECT_TRUE(r1.nonempty);
+  EXPECT_GT(writer.store_writes(), 0u);
+
+  // Process 2: same guard set, empty verdict — needs the rest of the
+  // class, resumed from the stored cursor.
+  GraphCache reader;
+  reader.AttachStore(dir);
+  SolveOptions second = plain;
+  second.cache = &reader;
+  SolveResult r2 = SolveEmptiness(dead, all, second);
+  EXPECT_FALSE(r2.nonempty);
+  EXPECT_TRUE(r2.stats.graph_from_cache);
+  EXPECT_TRUE(r2.stats.graph_resumed);
+  EXPECT_GT(r2.stats.members_enumerated, 0u);
+  EXPECT_LT(r2.stats.members_enumerated, cold.stats.members_enumerated)
+      << "a resumed build must enumerate strictly fewer members than a "
+         "cold build";
+  EXPECT_EQ(r2.stats.edges, cold.stats.edges);
+
+  // Process 3: the resumed build upgraded the stored graph to complete.
+  GraphCache third;
+  third.AttachStore(dir);
+  SolveOptions final_query = plain;
+  final_query.cache = &third;
+  SolveResult r3 = SolveEmptiness(dead, all, final_query);
+  EXPECT_EQ(r3.stats.members_enumerated, 0u);
+  EXPECT_FALSE(r3.stats.graph_resumed);
+  EXPECT_FALSE(r3.nonempty);
+}
+
+TEST(StoreTest, ResumedBuildsAreBitIdenticalToColdBuilds) {
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ReachRedSystem();
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  const int k = system.num_registers();
+  const std::string key = GraphCache::Key(all, k, guards);
+
+  // A partial graph from an early-exited query...
+  GraphCache cache;
+  SolveOptions options;
+  options.build_witness = false;
+  options.cache = &cache;
+  ASSERT_TRUE(SolveEmptiness(system, all, options).nonempty);
+  std::shared_ptr<const SubTransitionGraph> partial = cache.Lookup(key);
+  ASSERT_NE(partial, nullptr);
+  ASSERT_FALSE(partial->complete());
+
+  // ...finished serially and in parallel, against a cold full build.
+  SubTransitionGraph cold(guards, k);
+  SolveStats cold_stats;
+  cold.BuildFull(all, cold_stats);
+
+  SubTransitionGraph resumed(*partial);
+  SolveStats resumed_stats;
+  resumed.BuildFull(all, resumed_stats);
+  EXPECT_LT(resumed_stats.members_enumerated, cold_stats.members_enumerated);
+  EXPECT_EQ(SerializeGraph(resumed, key), SerializeGraph(cold, key));
+
+  SubTransitionGraph resumed_parallel(*partial);
+  SolveStats parallel_stats;
+  resumed_parallel.BuildFullParallel(all, 4, parallel_stats);
+  EXPECT_EQ(SerializeGraph(resumed_parallel, key), SerializeGraph(cold, key));
+
+  // And a restored copy resumes just like the in-memory original.
+  std::shared_ptr<SubTransitionGraph> reloaded = DeserializeGraph(
+      SerializeGraph(*partial, key), key, all.schema(), guards, k);
+  ASSERT_NE(reloaded, nullptr);
+  SolveStats reloaded_stats;
+  reloaded->BuildFull(all, reloaded_stats);
+  EXPECT_EQ(SerializeGraph(*reloaded, key), SerializeGraph(cold, key));
+}
+
+TEST(StoreTest, CorruptOrTruncatedFilesFallBackToAFreshBuild) {
+  const std::string dir = StoreDir("corrupt_fallback");
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  const int k = system.num_registers();
+  const std::string key = GraphCache::Key(all, k, guards);
+
+  SolveOptions seed;
+  seed.build_witness = false;
+  seed.store_dir = dir;
+  const SolveResult reference = SolveEmptiness(system, all, seed);
+
+  const std::string path = GraphStore(dir).PathFor(key);
+  ASSERT_TRUE(fs::exists(path));
+  const auto full_size = fs::file_size(path);
+
+  auto query_against_store = [&](std::uint64_t* load_failures) {
+    GraphCache cache;
+    cache.AttachStore(dir);
+    SolveOptions options;
+    options.build_witness = false;
+    options.cache = &cache;
+    SolveResult r = SolveEmptiness(system, all, options);
+    *load_failures = cache.store_load_failures();
+    return r;
+  };
+
+  // Truncated file: the query must rebuild, not crash — and the rebuild
+  // overwrites the damage.
+  fs::resize_file(path, full_size / 2);
+  std::uint64_t failures = 0;
+  SolveResult after_truncation = query_against_store(&failures);
+  EXPECT_EQ(failures, 1u);
+  EXPECT_FALSE(after_truncation.stats.graph_from_cache);
+  EXPECT_GT(after_truncation.stats.members_enumerated, 0u);
+  EXPECT_EQ(after_truncation.nonempty, reference.nonempty);
+  EXPECT_EQ(fs::file_size(path), full_size) << "rebuild must repair the file";
+
+  // Flipped byte in the middle: caught by the checksum.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(full_size / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(full_size / 2));
+    f.write(&byte, 1);
+  }
+  SolveResult after_corruption = query_against_store(&failures);
+  EXPECT_EQ(failures, 1u);
+  EXPECT_FALSE(after_corruption.stats.graph_from_cache);
+  EXPECT_EQ(after_corruption.nonempty, reference.nonempty);
+
+  // Empty file (e.g. a crashed writer before the atomic rename existed).
+  { std::ofstream wipe(path, std::ios::binary | std::ios::trunc); }
+  SolveResult after_wipe = query_against_store(&failures);
+  EXPECT_EQ(failures, 1u);
+  EXPECT_EQ(after_wipe.nonempty, reference.nonempty);
+
+  // And once repaired, a fresh cache serves from disk again.
+  std::uint64_t no_failures = 0;
+  SolveResult healthy = query_against_store(&no_failures);
+  EXPECT_EQ(no_failures, 0u);
+  EXPECT_TRUE(healthy.stats.graph_from_cache);
+  EXPECT_EQ(healthy.stats.members_enumerated, 0u);
+}
+
+TEST(StoreTest, DeserializeRejectsMismatchedContext) {
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  const int k = system.num_registers();
+  const std::string key = GraphCache::Key(all, k, guards);
+  SubTransitionGraph graph(guards, k);
+  SolveStats stats;
+  graph.BuildFull(all, stats);
+  const std::string bytes = SerializeGraph(graph, key);
+
+  EXPECT_NE(DeserializeGraph(bytes, key, all.schema(), guards, k), nullptr);
+  // Wrong key (a filename hash collision would look like this).
+  EXPECT_EQ(DeserializeGraph(bytes, "other", all.schema(), guards, k),
+            nullptr);
+  // Wrong register count.
+  EXPECT_EQ(DeserializeGraph(bytes, key, all.schema(), guards, k + 1),
+            nullptr);
+  // Wrong guard count.
+  std::vector<FormulaRef> no_guards;
+  EXPECT_EQ(DeserializeGraph(bytes, key, all.schema(), no_guards, k),
+            nullptr);
+  // Wrong schema.
+  LinearOrderClass orders;
+  EXPECT_EQ(DeserializeGraph(bytes, key, orders.schema(), guards, k),
+            nullptr);
+}
+
+TEST(StoreTest, WordTreeAndBranchingFrontDoorsPersist) {
+  // Words: a nonempty query persists a partial graph whose explored region
+  // already contains the goal — the "second process" answers with zero
+  // enumeration and still reconstructs a valid witness from the restored
+  // steps.
+  {
+    const std::string dir = StoreDir("words");
+    DdsSystem system = ZigZagSystem(1);
+    Nfa nfa = NfaAPlusBPlus();
+    WordSolveResult first =
+        SolveWordEmptiness(system, nfa, true, SolveStrategy::kOnTheFly,
+                           nullptr, 1, dir);
+    WordSolveResult second =
+        SolveWordEmptiness(system, nfa, true, SolveStrategy::kOnTheFly,
+                           nullptr, 1, dir);
+    EXPECT_EQ(first.nonempty, second.nonempty);
+    EXPECT_GT(first.stats.members_enumerated, 0u);
+    EXPECT_EQ(second.stats.members_enumerated, 0u);
+    EXPECT_TRUE(second.stats.graph_from_cache);
+    if (second.nonempty && second.witness.has_value()) {
+      EXPECT_TRUE(nfa.Accepts(second.witness->letters));
+    }
+  }
+
+  // Trees.
+  {
+    const std::string dir = StoreDir("trees");
+    TreeAutomaton two = TaTwoLevel();
+    DdsSystem system = DescendSystem(two, 1);
+    TreeSolveResult first = SolveTreeEmptiness(
+        system, two, 0, 3, SolveStrategy::kOnTheFly, nullptr, 1, dir);
+    TreeSolveResult second = SolveTreeEmptiness(
+        system, two, 0, 3, SolveStrategy::kOnTheFly, nullptr, 1, dir);
+    EXPECT_EQ(first.nonempty, second.nonempty);
+    EXPECT_GT(first.stats.members_enumerated, 0u);
+    EXPECT_EQ(second.stats.members_enumerated, 0u);
+  }
+
+  // Branching: always builds to completion, so the second query is a pure
+  // store hit.
+  {
+    const std::string dir = StoreDir("branching");
+    AllStructuresClass all(GraphZooSchema());
+    BranchingSystem bs(GraphZooSchema());
+    bs.AddRegister("x");
+    int start = bs.AddState("start", true);
+    int red = bs.AddState("red_found", false, true);
+    int white = bs.AddState("white_found", false, true);
+    bs.AddRule(start, {{"E(x_old, x_new) & red(x_new)", red},
+                       {"E(x_old, x_new) & !red(x_new)", white}});
+    BranchingSolveResult first =
+        SolveBranchingEmptiness(bs, all, nullptr, 1, dir);
+    BranchingSolveResult second =
+        SolveBranchingEmptiness(bs, all, nullptr, 1, dir);
+    EXPECT_EQ(first.nonempty, second.nonempty);
+    EXPECT_GT(first.stats.members_enumerated, 0u);
+    EXPECT_EQ(second.stats.members_enumerated, 0u);
+    EXPECT_TRUE(second.stats.graph_from_cache);
+  }
+
+  // And across front doors: a linear query's partial graph feeds a
+  // branching query over the same guard set, which resumes rather than
+  // rebuilds.
+  {
+    const std::string dir = StoreDir("cross_front_door");
+    AllStructuresClass all(GraphZooSchema());
+    DdsSystem linear(GraphZooSchema());
+    linear.AddRegister("x");
+    int a = linear.AddState("a", true);
+    int b = linear.AddState("b", false, true);
+    linear.AddRule(a, b, "E(x_old, x_new)");
+    SolveOptions options;
+    options.build_witness = false;
+    options.store_dir = dir;
+    ASSERT_TRUE(SolveEmptiness(linear, all, options).nonempty);
+
+    BranchingSystem mirrored(GraphZooSchema());
+    mirrored.AddRegister("x");
+    int ma = mirrored.AddState("a", true);
+    int mb = mirrored.AddState("b", false, true);
+    mirrored.AddRule(ma, {Branch{linear.rules()[0].guard, mb}});
+    BranchingSolveResult resumed =
+        SolveBranchingEmptiness(mirrored, all, nullptr, 1, dir);
+    EXPECT_TRUE(resumed.stats.graph_from_cache);
+    EXPECT_TRUE(resumed.stats.graph_resumed);
+    EXPECT_TRUE(resumed.nonempty);
+  }
+}
+
+}  // namespace
+}  // namespace amalgam
