@@ -10,7 +10,11 @@
 #include <string>
 #include <vector>
 
+#include <future>
+#include <memory>
+
 #include "fraisse/relational.h"
+#include "service/service.h"
 #include "solver/cache.h"
 #include "solver/emptiness.h"
 #include "system/zoo.h"
@@ -131,6 +135,49 @@ void BM_ParallelBuild(benchmark::State& state) {
 BENCHMARK(BM_ParallelBuild)
     ->ArgsProduct({{1, 2, 4, 8}})
     ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The query service end to end on the 64-state chain: a pool of
+// 1/4/8 workers serving batches of identical cache-hot queries (the first
+// batch's leader builds the graph once; everything after is pure BFS
+// replay over the shared cache). Measures the broker overhead — queueing,
+// single-flight bookkeeping, future resolution — on top of BM_CachedQuery's
+// raw solve time, and how it scales with concurrent submitters.
+void BM_ServiceThroughput(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kQueriesPerBatch = 32;
+
+  QueryService::Options options;
+  options.num_workers = workers;
+  QueryService service(options);
+
+  QueryRequest request;
+  request.kind = QueryKind::kSystem;
+  request.system = std::make_shared<DdsSystem>(ChainSystem(64, 1));
+  request.cls = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  request.strategy = SolveStrategy::kEager;
+
+  // Warm: one build, so every measured query is a cache hit.
+  service.Submit(request).get();
+
+  for (auto _ : state) {
+    std::vector<QueryRequest> batch(kQueriesPerBatch, request);
+    std::vector<std::future<QueryResult>> futures =
+        service.SubmitBatch(std::move(batch));
+    for (auto& future : futures) {
+      benchmark::DoNotOptimize(future.get().nonempty);
+    }
+  }
+  const ServiceStats stats = service.Stats();
+  state.counters["queries"] = static_cast<double>(stats.queries);
+  state.counters["coalesced"] = static_cast<double>(stats.coalesced_joins);
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.SetItemsProcessed(state.iterations() * kQueriesPerBatch);
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->ArgsProduct({{1, 4, 8}})
+    ->ArgNames({"workers"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -1,0 +1,324 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace amalgam {
+
+namespace {
+
+// Containers deeper than this fail to parse: the parser recurses per
+// nesting level, so unbounded depth would let one hostile request line
+// overflow the stack and kill the daemon. No legitimate protocol payload
+// nests anywhere near this deep.
+constexpr int kMaxNestingDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    SkipSpace();
+    JsonValue value;
+    if (!ParseValue(value)) return std::nullopt;
+    SkipSpace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(char c) {
+    if (AtEnd() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    if (AtEnd()) return false;
+    switch (Peek()) {
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return ConsumeLiteral("null");
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return ConsumeLiteral("false");
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return ParseString(out.string);
+      case '[':
+        return ParseArray(out);
+      case '{':
+        return ParseObject(out);
+      default:
+        out.type = JsonValue::Type::kNumber;
+        return ParseNumber(out.number);
+    }
+  }
+
+  bool ParseNumber(double& out) {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.' || Peek() == 'e' || Peek() == 'E' ||
+                        Peek() == '+' || Peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    return ec == std::errc() && end == text_.data() + pos_;
+  }
+
+  void AppendUtf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  bool ParseHex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (!AtEnd()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp;
+          if (!ParseHex4(cp)) return false;
+          if (cp >= 0xd800 && cp <= 0xdbff) {  // high surrogate: need pair
+            if (!ConsumeLiteral("\\u")) return false;
+            std::uint32_t low;
+            if (!ParseHex4(low) || low < 0xdc00 || low > 0xdfff) return false;
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return false;  // lone low surrogate
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseArray(JsonValue& out) {
+    if (!Consume('[') || ++depth_ > kMaxNestingDepth) return false;
+    out.type = JsonValue::Type::kArray;
+    SkipSpace();
+    if (Consume(']')) return --depth_, true;
+    for (;;) {
+      JsonValue element;
+      SkipSpace();
+      if (!ParseValue(element)) return false;
+      out.array.push_back(std::move(element));
+      SkipSpace();
+      if (Consume(']')) return --depth_, true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseObject(JsonValue& out) {
+    if (!Consume('{') || ++depth_ > kMaxNestingDepth) return false;
+    out.type = JsonValue::Type::kObject;
+    SkipSpace();
+    if (Consume('}')) return --depth_, true;
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume('}')) return --depth_, true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Get(key);
+  return v && v->is_string() ? v->string : fallback;
+}
+
+std::int64_t JsonValue::GetInt(std::string_view key,
+                               std::int64_t fallback) const {
+  const JsonValue* v = Get(key);
+  if (!v || !v->is_number()) return fallback;
+  // Out-of-range doubles are mistyped input, not a license for UB: the
+  // float-to-int conversion is undefined outside the target range
+  // (untrusted daemon input reaches this cast directly).
+  if (!(v->number >= -9.2e18 && v->number <= 9.2e18)) return fallback;
+  return static_cast<std::int64_t>(v->number);
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Get(key);
+  return v && v->is_bool() ? v->boolean : fallback;
+}
+
+std::optional<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonToString(const JsonValue& value) {
+  switch (value.type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return value.boolean ? "true" : "false";
+    case JsonValue::Type::kNumber: {
+      // Integers (the common case: ids, counts) print without a decimal
+      // point so they round-trip textually.
+      if (value.number == std::floor(value.number) &&
+          std::abs(value.number) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value.number));
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.number);
+      return buf;
+    }
+    case JsonValue::Type::kString:
+      return "\"" + JsonEscape(value.string) + "\"";
+    case JsonValue::Type::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) out += ",";
+        out += JsonToString(value.array[i]);
+      }
+      return out + "]";
+    }
+    case JsonValue::Type::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < value.object.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscape(value.object[i].first) +
+               "\":" + JsonToString(value.object[i].second);
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+}  // namespace amalgam

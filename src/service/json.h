@@ -1,0 +1,65 @@
+// A minimal JSON reader/writer for the amalgamd JSONL protocol.
+//
+// No third-party JSON dependency exists in this tree, and the protocol
+// needs only the basics: parse one request object per line, emit one
+// response object per line. This parser covers all of JSON except that
+// numbers are held as doubles (integers round-trip exactly up to 2^53 —
+// far beyond any id or parameter the protocol carries) and \uXXXX escapes
+// outside the BMP must arrive as surrogate pairs (lone surrogates are
+// rejected). Objects preserve insertion order and allow duplicate keys
+// (Get returns the first). Nesting deeper than 128 levels is rejected —
+// the parser recurses per level, and a hostile line of brackets must not
+// be able to overflow the daemon's stack.
+#ifndef AMALGAM_SERVICE_JSON_H_
+#define AMALGAM_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace amalgam {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// The member named `key`, or nullptr (also when this is not an object).
+  const JsonValue* Get(std::string_view key) const;
+
+  /// The member as a specific type, or the fallback when absent/mistyped.
+  std::string GetString(std::string_view key,
+                        const std::string& fallback = "") const;
+  std::int64_t GetInt(std::string_view key, std::int64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+};
+
+/// Parses `text` as one JSON value (surrounding whitespace allowed;
+/// trailing non-space content is an error). Returns nullopt on any syntax
+/// error.
+std::optional<JsonValue> ParseJson(std::string_view text);
+
+/// `s` with JSON string escaping applied (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+/// Serializes a value back to compact JSON (used for echoing request ids).
+std::string JsonToString(const JsonValue& value);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SERVICE_JSON_H_

@@ -1,0 +1,75 @@
+// The amalgamd JSONL protocol: one request object per line in, one
+// response object per line out.
+//
+// A *query* line names a front door and its inputs — zoo-named or
+// spec-described — and maps onto one QueryService::Submit:
+//
+//   {"id":1,"kind":"system","class":"all","system":"reach_red"}
+//   {"id":2,"kind":"words","nfa":"aplus_bplus","system":"zigzag"}
+//   {"id":3,"kind":"trees","automaton":"two_level","system":{"registers":
+//     ["x"],"states":[{"name":"s","initial":true},{"name":"t","accepting":
+//     true}],"rules":[{"from":"s","to":"t","guard":"desc(x_old, x_new)"}]}}
+//   {"id":4,"kind":"branching","class":"all","system":{"registers":["x"],
+//     "states":[...],"rules":[{"from":"a","branches":[{"guard":"...",
+//     "to":"b"},...]}]}}
+//
+// Optional query fields: "strategy" ("onthefly"|"eager"), "num_threads"
+// (build threads for this query), "build_witness", "extra_pattern_cap"
+// (trees), "rounds"/"steps" (the parametrized zoo systems), "schema"
+// ({"relations":[["E",2],...],"functions":[...]}; kind "system" specs
+// only — word/tree schemas are implied by the automaton), "store_dir"
+// (attaches the service's disk tier; an error if a different tier is
+// already attached elsewhere).
+//
+// *Admin* lines select an op instead: {"op":"stats"}, {"op":"sweep",
+// "max_bytes":N,"max_files":N}, {"op":"drain"}, {"op":"shutdown"}.
+//
+// Responses echo the request's "id" verbatim and always carry "ok";
+// failures report {"ok":false,"error":"..."} and never kill the loop.
+#ifndef AMALGAM_SERVICE_PROTOCOL_H_
+#define AMALGAM_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/query.h"
+#include "solver/store.h"
+
+namespace amalgam {
+
+struct ProtocolRequest {
+  enum class Op { kQuery, kStats, kSweep, kDrain, kShutdown };
+
+  Op op = Op::kQuery;
+  /// The request's "id" member, re-serialized for echoing ("" = absent).
+  std::string id_json;
+  /// Non-empty: the line failed to parse or validate; reply with
+  /// FormatErrorResponse and do not execute anything.
+  std::string error;
+
+  QueryRequest query;              // kQuery
+  std::string store_dir;           // kQuery: optional disk-tier attach
+  std::uint64_t max_bytes = 0;     // kSweep
+  std::uint64_t max_files = 0;     // kSweep
+};
+
+/// Parses one JSONL request line. Never throws: malformed input comes
+/// back as a ProtocolRequest with `error` set (and any parsable id).
+ProtocolRequest ParseRequestLine(const std::string& line);
+
+std::string FormatQueryResponse(const ProtocolRequest& request,
+                                const QueryResult& result);
+std::string FormatStatsResponse(const ProtocolRequest& request,
+                                const ServiceStats& stats);
+std::string FormatSweepResponse(const ProtocolRequest& request,
+                                const StoreSweepResult& result);
+std::string FormatDrainResponse(const ProtocolRequest& request,
+                                const ServiceStats& stats);
+std::string FormatShutdownResponse(const ProtocolRequest& request,
+                                   const ServiceStats& stats);
+std::string FormatErrorResponse(const ProtocolRequest& request,
+                                const std::string& error);
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SERVICE_PROTOCOL_H_

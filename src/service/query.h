@@ -1,0 +1,103 @@
+// Request/response types of the concurrent query service.
+//
+// A QueryRequest names one emptiness query through any of the four front
+// doors — generic system (SolveEmptiness), word-driven
+// (SolveWordEmptiness), tree-driven (SolveTreeEmptiness) or branching
+// (SolveBranchingEmptiness) — together with the inputs that front door
+// needs. Inputs are held by shared_ptr so a batch of requests can share
+// one system/automaton/class instance and a request stays cheap to copy;
+// the service keeps them alive for the lifetime of the query (TreeRunClass
+// in particular retains a pointer to the automaton it was built over).
+#ifndef AMALGAM_SERVICE_QUERY_H_
+#define AMALGAM_SERVICE_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fraisse/fraisse_class.h"
+#include "solver/branching.h"
+#include "solver/engine.h"
+#include "system/dds.h"
+#include "trees/automaton.h"
+#include "words/nfa.h"
+
+namespace amalgam {
+
+/// Which front door a request goes through.
+enum class QueryKind {
+  kSystem,     // SolveEmptiness(system, *cls)
+  kWord,       // SolveWordEmptiness(system, *nfa)
+  kTree,       // SolveTreeEmptiness(system, *automaton)
+  kBranching,  // SolveBranchingEmptiness(*branching, *cls)
+};
+
+struct QueryRequest {
+  QueryKind kind = QueryKind::kSystem;
+
+  /// The control skeleton (kSystem, kWord, kTree).
+  std::shared_ptr<const DdsSystem> system;
+  /// The backend class (kSystem, kBranching).
+  std::shared_ptr<const FraisseClass> cls;
+  /// The word language (kWord).
+  std::shared_ptr<const Nfa> nfa;
+  /// The tree language (kTree).
+  std::shared_ptr<const TreeAutomaton> automaton;
+  /// The branching system (kBranching).
+  std::shared_ptr<const BranchingSystem> branching;
+
+  /// kTree only: TreeRunClass pattern cap (member size is m + this cap).
+  int extra_pattern_cap = 4;
+  /// Exploration strategy for the linear front doors (the branching
+  /// fixpoint always needs the complete graph).
+  SolveStrategy strategy = SolveStrategy::kOnTheFly;
+  /// Worker threads for this query's complete-graph builds
+  /// (SubTransitionGraph::BuildFullParallel); 0 means the service default.
+  int num_threads = 0;
+  /// Reconstruct a concrete witness (kSystem/kWord; costs extra work).
+  bool build_witness = false;
+};
+
+struct QueryResult {
+  /// True iff the query ran to a verdict; false means `error` explains
+  /// what went wrong (errors are delivered in-band, never as a broken
+  /// future, so batch callers can collect every outcome uniformly).
+  bool ok = false;
+  std::string error;
+
+  bool nonempty = false;
+  SolveStats stats;
+
+  /// Wall time inside the service, from worker pickup to verdict.
+  double latency_ms = 0.0;
+  /// This query waited on another in-flight query building the same
+  /// sub-transition graph (the single-flight join path) instead of
+  /// building it itself.
+  bool coalesced = false;
+};
+
+/// Aggregated per-service counters; see QueryService::Stats().
+struct ServiceStats {
+  std::uint64_t queries = 0;             // completed (ok or failed)
+  std::uint64_t failed = 0;              // completed with an error
+  std::uint64_t coalesced_joins = 0;     // waited on another query's build
+  std::uint64_t single_flight_leads = 0; // owned a single-flight build
+  std::uint64_t pending = 0;             // accepted, not yet finished
+
+  // Snapshot of the shared GraphCache's tiered counters.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t store_loads = 0;
+  std::uint64_t store_load_failures = 0;
+  std::uint64_t store_writes = 0;
+
+  // Latency distribution over a bounded window of the most recent
+  // completions (0 when none completed).
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+};
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SERVICE_QUERY_H_

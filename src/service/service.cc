@@ -1,0 +1,358 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "solver/emptiness.h"
+#include "solver/store.h"
+#include "trees/run_class.h"
+#include "trees/solve.h"
+#include "words/run_class.h"
+#include "words/solve.h"
+
+namespace amalgam {
+
+namespace {
+
+std::vector<FormulaRef> RuleGuards(const DdsSystem& system) {
+  std::vector<FormulaRef> guards;
+  guards.reserve(system.rules().size());
+  for (const TransitionRule& rule : system.rules()) {
+    guards.push_back(rule.guard);
+  }
+  return guards;
+}
+
+// The graph cache key this request's front door will query under — built
+// the same way the front door builds it (same backend construction, same
+// guard order), so the single-flight table and the engine agree on what
+// "the same graph" means. This deliberately mirrors each front door's
+// derivation; if one of them ever changes its guard flattening or backend
+// construction, service_test's SingleFlightKeysAgreeWithEngineKeys
+// (exactly one cache miss per unique request) fails.
+std::string ComputeGraphKey(const QueryRequest& request) {
+  switch (request.kind) {
+    case QueryKind::kSystem: {
+      if (!request.system || !request.cls) {
+        throw std::invalid_argument("system query needs `system` and `cls`");
+      }
+      return GraphCache::Key(*request.cls, request.system->num_registers(),
+                             RuleGuards(*request.system));
+    }
+    case QueryKind::kWord: {
+      if (!request.system || !request.nfa) {
+        throw std::invalid_argument("word query needs `system` and `nfa`");
+      }
+      WordRunClass cls(*request.nfa);
+      return GraphCache::Key(cls, request.system->num_registers(),
+                             RuleGuards(*request.system));
+    }
+    case QueryKind::kTree: {
+      if (!request.system || !request.automaton) {
+        throw std::invalid_argument("tree query needs `system` and `automaton`");
+      }
+      TreeRunClass cls(request.automaton.get(), request.extra_pattern_cap);
+      return GraphCache::Key(cls, request.system->num_registers(),
+                             RuleGuards(*request.system));
+    }
+    case QueryKind::kBranching: {
+      if (!request.branching || !request.cls) {
+        throw std::invalid_argument(
+            "branching query needs `branching` and `cls`");
+      }
+      std::vector<FormulaRef> guards;
+      for (const BranchingRule& rule : request.branching->rules()) {
+        for (const Branch& branch : rule.branches) {
+          guards.push_back(branch.guard);
+        }
+      }
+      return GraphCache::Key(*request.cls,
+                             request.branching->skeleton().num_registers(),
+                             guards);
+    }
+  }
+  throw std::invalid_argument("unknown query kind");
+}
+
+}  // namespace
+
+QueryService::QueryService(Options options)
+    : options_(std::move(options)), cache_(options_.cache_max_entries) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.build_threads < 1) options_.build_threads = 1;
+  if (!options_.store_dir.empty()) cache_.AttachStore(options_.store_dir);
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::ComputeTaskKey(Task& task) {
+  try {
+    task.graph_key = ComputeGraphKey(task.request);
+  } catch (const std::exception& e) {
+    task.setup_error = e.what();
+  }
+}
+
+void QueryService::RegisterFlight(Task& task) {
+  if (!task.setup_error.empty()) return;
+  // Anything already cached — complete or partial — serves without a cold
+  // build; skip the flight table so hot keys never serialize.
+  if (cache_.Peek(task.graph_key) != nullptr) {
+    task.role = Role::kDirect;
+    return;
+  }
+  std::lock_guard<std::mutex> flock(flights_mutex_);
+  auto it = flights_.find(task.graph_key);
+  if (it != flights_.end()) {
+    task.role = Role::kJoiner;
+    task.join_on = it->second.done;
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++coalesced_joins_;
+  } else {
+    task.role = Role::kLeader;
+    task.lead_done = std::make_shared<std::promise<void>>();
+    flights_.emplace(task.graph_key, Flight{task.lead_done->get_future()});
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++single_flight_leads_;
+  }
+}
+
+std::future<QueryResult> QueryService::Submit(QueryRequest request) {
+  Task task;
+  task.request = std::move(request);
+  std::future<QueryResult> future = task.promise.get_future();
+  ComputeTaskKey(task);  // backend construction: keep it off the lock
+  {
+    // Registration and enqueue are atomic together: a joiner must never
+    // precede its leader in the queue, or a one-worker pool would pick up
+    // the joiner first and deadlock waiting for a build that cannot start.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      throw std::runtime_error("QueryService is shut down");
+    }
+    RegisterFlight(task);
+    queue_.push_back(std::move(task));
+    ++outstanding_;
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<QueryResult>> QueryService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<Task> tasks;
+  std::vector<std::future<QueryResult>> futures;
+  tasks.reserve(requests.size());
+  futures.reserve(requests.size());
+  for (QueryRequest& request : requests) {
+    Task task;
+    task.request = std::move(request);
+    futures.push_back(task.promise.get_future());
+    ComputeTaskKey(task);  // per-request backend construction, unlocked
+    tasks.push_back(std::move(task));
+  }
+  {
+    // One lock for the whole batch: every request is registered in the
+    // single-flight table before any worker can start the first one, so
+    // identical cold queries in a batch coalesce deterministically.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      throw std::runtime_error("QueryService is shut down");
+    }
+    for (Task& task : tasks) {
+      RegisterFlight(task);
+      queue_.push_back(std::move(task));
+      ++outstanding_;
+    }
+  }
+  queue_cv_.notify_all();
+  return futures;
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Execute(task);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --outstanding_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+QueryResult QueryService::RunQuery(const QueryRequest& request) {
+  const int threads = request.num_threads > 0 ? request.num_threads
+                                              : options_.build_threads;
+  QueryResult result;
+  switch (request.kind) {
+    case QueryKind::kSystem: {
+      SolveOptions options;
+      options.build_witness = request.build_witness;
+      options.strategy = request.strategy;
+      options.cache = &cache_;
+      options.num_threads = threads;
+      SolveResult solved = SolveEmptiness(*request.system, *request.cls,
+                                          options);
+      result.nonempty = solved.nonempty;
+      result.stats = solved.stats;
+      break;
+    }
+    case QueryKind::kWord: {
+      WordSolveResult solved = SolveWordEmptiness(
+          *request.system, *request.nfa, request.build_witness,
+          request.strategy, &cache_, threads);
+      result.nonempty = solved.nonempty;
+      result.stats = solved.stats;
+      break;
+    }
+    case QueryKind::kTree: {
+      TreeSolveResult solved = SolveTreeEmptiness(
+          *request.system, *request.automaton,
+          /*witness_size_cap=*/request.build_witness ? 6 : 0,
+          request.extra_pattern_cap, request.strategy, &cache_, threads);
+      result.nonempty = solved.nonempty;
+      result.stats = solved.stats;
+      break;
+    }
+    case QueryKind::kBranching: {
+      BranchingSolveResult solved = SolveBranchingEmptiness(
+          *request.branching, *request.cls, &cache_, threads);
+      result.nonempty = solved.nonempty;
+      result.stats = solved.stats;
+      break;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+void QueryService::Execute(Task& task) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t store_writes_before = cache_.store_writes();
+  QueryResult result;
+  if (!task.setup_error.empty()) {
+    result.error = task.setup_error;
+  } else {
+    if (task.role == Role::kJoiner) {
+      task.join_on.wait();
+      result.coalesced = true;
+    }
+    try {
+      const bool coalesced = result.coalesced;
+      result = RunQuery(task.request);
+      result.coalesced = coalesced;
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.error = e.what();
+    }
+  }
+  if (task.role == Role::kLeader) {
+    // Resolve the flight whatever happened: joiners proceed (a failed
+    // leader's joiners retry the build themselves through the ordinary
+    // cache path) and the key becomes eligible for a fresh flight.
+    {
+      std::lock_guard<std::mutex> flock(flights_mutex_);
+      flights_.erase(task.graph_key);
+    }
+    task.lead_done->set_value();
+  }
+  // Sweep only when something was actually written to the disk tier
+  // since this query started — cache-hot replay traffic must not pay an
+  // O(files) directory scan per query.
+  if (result.ok &&
+      (options_.store_max_bytes > 0 || options_.store_max_files > 0) &&
+      cache_.store_writes() != store_writes_before) {
+    cache_.SweepStore(options_.store_max_bytes, options_.store_max_files);
+  }
+  result.latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    if (latency_samples_ms_.size() < kMaxLatencySamples) {
+      latency_samples_ms_.push_back(result.latency_ms);
+    } else {
+      latency_samples_ms_[completed_ % kMaxLatencySamples] =
+          result.latency_ms;
+    }
+    ++completed_;
+    if (!result.ok) ++failed_;
+  }
+  task.promise.set_value(std::move(result));
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void QueryService::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    // Graceful: everything accepted before the stop flag runs to its
+    // verdict; only *new* submissions are refused.
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  Drain();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+StoreSweepResult QueryService::SweepStore(std::uint64_t max_bytes,
+                                          std::uint64_t max_files) {
+  return cache_.SweepStore(max_bytes, max_files);
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats stats;
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    stats.queries = completed_;
+    stats.failed = failed_;
+    stats.coalesced_joins = coalesced_joins_;
+    stats.single_flight_leads = single_flight_leads_;
+    samples = latency_samples_ms_;
+  }
+  {
+    std::lock_guard<std::mutex> qlock(queue_mutex_);
+    stats.pending = outstanding_;
+  }
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.cache_evictions = cache_.evictions();
+  stats.store_loads = cache_.store_loads();
+  stats.store_load_failures = cache_.store_load_failures();
+  stats.store_writes = cache_.store_writes();
+  if (!samples.empty()) {
+    auto percentile = [&samples](double p) {
+      const std::size_t idx = static_cast<std::size_t>(
+          p * static_cast<double>(samples.size() - 1));
+      std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
+      return samples[idx];
+    };
+    stats.p50_latency_ms = percentile(0.50);
+    stats.p95_latency_ms = percentile(0.95);
+  }
+  return stats;
+}
+
+}  // namespace amalgam

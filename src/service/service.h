@@ -1,0 +1,187 @@
+// The concurrent query service: a single-flight, shared-cache broker over
+// the exploration engine.
+//
+// Every caller so far invokes a synchronous front door directly, so N
+// concurrent identical cold queries run N redundant graph builds. The
+// QueryService multiplexes queries over one shared engine/cache/store
+// stack instead:
+//
+//   * a fixed worker pool executes submitted queries asynchronously
+//     (Submit returns a std::future<QueryResult>; SubmitBatch returns one
+//     future per request);
+//   * one GraphCache (optionally LRU-capped and disk-backed) is shared by
+//     every query, so distinct requests over the same (class, k, guard
+//     set) reuse one sub-transition graph;
+//   * a single-flight table keyed by the graph's cache key coalesces
+//     concurrent cold queries: the first becomes the *leader* and builds
+//     (serial or sharded-parallel), the rest *join* — they block on the
+//     leader's per-key flight future and then run pure BFS replay over the
+//     cached graph. Registration happens at submit time, and SubmitBatch
+//     registers the whole batch before any worker starts, so a batch of N
+//     identical cold queries deterministically performs exactly one build.
+//
+// Verdict equivalence with the synchronous front doors is structural: a
+// query is executed by calling the very same front door with the shared
+// cache passed in, so the only thing the service changes is *when* the
+// graph gets built and by whom. A leader that early-exits leaves a partial
+// graph; a joiner whose verdict needs more of the class resumes it through
+// the ordinary cache path (correct, just no longer coalesced).
+//
+// Shutdown is graceful: Drain() blocks until every accepted query has
+// completed; Shutdown() (and the destructor) drains, then joins the
+// workers. Submissions after Shutdown throw.
+#ifndef AMALGAM_SERVICE_SERVICE_H_
+#define AMALGAM_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/query.h"
+#include "solver/cache.h"
+
+namespace amalgam {
+
+class QueryService {
+ public:
+  struct Options {
+    /// Worker threads executing queries (clamped to >= 1).
+    int num_workers = 4;
+    /// Default SubTransitionGraph build threads per query (a request's
+    /// num_threads overrides it; > 1 routes complete-graph builds through
+    /// BuildFullParallel).
+    int build_threads = 1;
+    /// GraphCache memory-tier cap (0 = unbounded).
+    std::size_t cache_max_entries = 0;
+    /// When non-empty, attach the disk tier at this directory.
+    std::string store_dir;
+    /// Disk-tier caps, enforced by an LRU-by-atime sweep after each query
+    /// that wrote to the store (0 = unlimited).
+    std::uint64_t store_max_bytes = 0;
+    std::uint64_t store_max_files = 0;
+  };
+
+  QueryService() : QueryService(Options{}) {}
+  explicit QueryService(Options options);
+  ~QueryService();  // Shutdown()
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query; the future resolves when a worker has finished it
+  /// (errors arrive in-band via QueryResult::ok/error — the future itself
+  /// never throws). Throws std::runtime_error after Shutdown().
+  std::future<QueryResult> Submit(QueryRequest request);
+
+  /// Enqueues a batch. All single-flight registrations happen before any
+  /// of the batch's tasks can start, so identical cold requests within one
+  /// batch coalesce deterministically onto a single build.
+  std::vector<std::future<QueryResult>> SubmitBatch(
+      std::vector<QueryRequest> requests);
+
+  /// Blocks until every query accepted so far has completed. New
+  /// submissions during a drain are allowed and extend it.
+  void Drain();
+
+  /// Drains, then stops and joins the workers. Idempotent; implied by the
+  /// destructor. Further Submit calls throw.
+  void Shutdown();
+
+  /// Aggregated counters + latency percentiles; safe to call concurrently
+  /// with running queries (cache counters are atomics, service counters
+  /// are snapshotted under the stats lock).
+  ServiceStats Stats() const;
+
+  /// The shared cache (for tests and admin paths; thread-safe itself).
+  GraphCache& cache() { return cache_; }
+  /// Sweeps the attached disk tier (no-op without one); the admin
+  /// counterpart of the automatic post-query sweep.
+  StoreSweepResult SweepStore(std::uint64_t max_bytes,
+                              std::uint64_t max_files);
+
+ private:
+  // One in-flight build permit per cache key. Joiners wait on `done`;
+  // the leader fulfills it when its query completes (even on error).
+  struct Flight {
+    std::shared_future<void> done;
+  };
+
+  enum class Role {
+    // A graph (complete or partial) is already cached for the key: run
+    // directly — replay needs no build, and concurrent *resumes* of one
+    // partial entry merely duplicate suffix work (the progress-guarded
+    // insert keeps the furthest), which beats serializing the hot path
+    // through the flight table.
+    kDirect,
+    kLeader,  // nothing cached: owns the cold build for its key
+    kJoiner,  // waits for the leader, then replays
+  };
+
+  struct Task {
+    QueryRequest request;
+    std::promise<QueryResult> promise;
+    Role role = Role::kDirect;
+    std::string graph_key;                  // empty when key computation failed
+    std::shared_ptr<std::promise<void>> lead_done;  // kLeader
+    std::shared_future<void> join_on;               // kJoiner
+    std::string setup_error;                // non-empty: fail without running
+  };
+
+  /// Computes the request's graph cache key (constructing the front
+  /// door's backend the same way the front door will — the expensive part,
+  /// so it runs before any lock is taken). Fills graph_key/setup_error.
+  static void ComputeTaskKey(Task& task);
+
+  /// Registers the task in the single-flight table and assigns its role.
+  /// Caller holds queue_mutex_ (registration must be atomic with the
+  /// enqueue so a joiner can never precede its leader in the queue).
+  void RegisterFlight(Task& task);
+
+  /// Runs one query end to end on a worker thread: waits on the join
+  /// future (joiners), executes the front door against the shared cache,
+  /// resolves the flight (leaders) and the promise, and records stats.
+  void Execute(Task& task);
+
+  /// The front-door dispatch; throws on invalid requests.
+  QueryResult RunQuery(const QueryRequest& request);
+
+  void WorkerLoop();
+
+  Options options_;
+  GraphCache cache_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;    // workers: work available / stop
+  std::condition_variable drained_cv_;  // Drain(): outstanding_ == 0
+  std::deque<Task> queue_;
+  std::uint64_t outstanding_ = 0;  // accepted (queued or running), unfinished
+  bool stopping_ = false;
+
+  std::mutex flights_mutex_;
+  std::unordered_map<std::string, Flight> flights_;
+
+  // Percentiles are computed over a bounded ring of the most recent
+  // completions, so a long-lived service neither grows without bound nor
+  // pays ever-larger copies on the stats path.
+  static constexpr std::size_t kMaxLatencySamples = 4096;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t coalesced_joins_ = 0;
+  std::uint64_t single_flight_leads_ = 0;
+  std::vector<double> latency_samples_ms_;  // ring, capped at kMaxLatencySamples
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SERVICE_SERVICE_H_

@@ -52,9 +52,17 @@ std::string GraphCache::Key(const SolverBackend& backend, int k,
 }
 
 void GraphCache::AttachStore(const std::string& dir) {
+  // The new tier is constructed (and its directory created) outside the
+  // lock; only the handle swap is serialized.
+  std::shared_ptr<const GraphStore> fresh;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (store_ && store_->dir() == dir) return;
+  }
+  fresh = std::make_shared<GraphStore>(dir);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (store_ && store_->dir() == dir) return;
-  store_ = std::make_unique<GraphStore>(dir);
+  if (store_ && store_->dir() == dir) return;  // lost a benign attach race
+  store_ = std::move(fresh);
 }
 
 bool GraphCache::has_store() const {
@@ -62,15 +70,20 @@ bool GraphCache::has_store() const {
   return store_ != nullptr;
 }
 
+std::shared_ptr<const GraphStore> GraphCache::StoreSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
+}
+
 std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
     const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = graphs_.find(key);
   if (it == graphs_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   // Freshen the entry's recency rank. Skipped when already freshest — the
   // common case for a hot key — so steady-state hits touch no list nodes.
   if (it->second.lru_pos != lru_.begin()) {
@@ -82,28 +95,48 @@ std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
 std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
     const std::string& key, const SchemaRef& schema,
     std::span<const FormulaRef> guards, int k) {
+  std::shared_ptr<const GraphStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(key);
+    if (it != graphs_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (it->second.lru_pos != lru_.begin()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      }
+      return it->second.graph;
+    }
+    store = store_;  // snapshot: the load below must not hold the lock
+  }
+  if (store) {
+    // Disk I/O outside the mutex — concurrent queries for other keys (or
+    // this one) proceed instead of convoying behind the read.
+    GraphStore::LoadResult loaded = store->Load(key, schema, guards, k);
+    if (loaded.graph) {
+      std::shared_ptr<const SubTransitionGraph> graph = std::move(loaded.graph);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      store_loads_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Double-checked promote: a racing query may have populated the key
+      // while we were reading the file. InsertLocked keeps whichever graph
+      // is further along; return the surviving entry either way (it is at
+      // least as far along as what we loaded).
+      InsertLocked(key, std::move(graph), /*want_store_write=*/false);
+      return graphs_.find(key)->second.graph;
+    }
+    if (loaded.file_found) {
+      store_load_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+std::shared_ptr<const SubTransitionGraph> GraphCache::Peek(
+    const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = graphs_.find(key);
-  if (it != graphs_.end()) {
-    ++hits_;
-    if (it->second.lru_pos != lru_.begin()) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    }
-    return it->second.graph;
-  }
-  if (store_) {
-    GraphStore::LoadResult loaded = store_->Load(key, schema, guards, k);
-    if (loaded.graph) {
-      ++hits_;
-      ++store_loads_;
-      std::shared_ptr<const SubTransitionGraph> graph = std::move(loaded.graph);
-      InsertLocked(key, graph, /*write_store=*/false);
-      return graph;
-    }
-    if (loaded.file_found) ++store_load_failures_;
-  }
-  ++misses_;
-  return nullptr;
+  return it == graphs_.end() ? nullptr : it->second.graph;
 }
 
 void GraphCache::Insert(const std::string& key,
@@ -111,16 +144,27 @@ void GraphCache::Insert(const std::string& key,
   if (!graph) {
     throw std::invalid_argument("GraphCache cannot store a null graph");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  InsertLocked(key, std::move(graph), /*write_store=*/true);
+  std::shared_ptr<const SubTransitionGraph> to_write;
+  std::shared_ptr<const GraphStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    to_write = InsertLocked(key, std::move(graph), /*want_store_write=*/true);
+    store = store_;
+  }
+  // Write-through outside the mutex. Save is progress-guarded on its own
+  // (it peeks the incumbent file's header), so racing writers cannot
+  // regress the persisted trajectory even without the lock.
+  if (to_write && store && store->Save(key, *to_write)) {
+    store_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-bool GraphCache::InsertLocked(const std::string& key,
-                              std::shared_ptr<const SubTransitionGraph> graph,
-                              bool write_store) {
+std::shared_ptr<const SubTransitionGraph> GraphCache::InsertLocked(
+    const std::string& key, std::shared_ptr<const SubTransitionGraph> graph,
+    bool want_store_write) {
   auto it = graphs_.find(key);
   if (it != graphs_.end()) {
-    if (!StrictlyFurtherAlong(*it->second.graph, *graph)) return false;
+    if (!StrictlyFurtherAlong(*it->second.graph, *graph)) return nullptr;
     it->second.graph = graph;
     if (it->second.lru_pos != lru_.begin()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
@@ -129,13 +173,19 @@ bool GraphCache::InsertLocked(const std::string& key,
     if (max_entries_ > 0 && graphs_.size() >= max_entries_) {
       graphs_.erase(lru_.back());
       lru_.pop_back();
-      ++evictions_;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
     }
     lru_.push_front(key);
     graphs_.emplace(key, Entry{graph, lru_.begin()});
   }
-  if (write_store && store_ && store_->Save(key, *graph)) ++store_writes_;
-  return true;
+  return want_store_write ? graph : nullptr;
+}
+
+StoreSweepResult GraphCache::SweepStore(std::uint64_t max_bytes,
+                                        std::uint64_t max_files) {
+  std::shared_ptr<const GraphStore> store = StoreSnapshot();
+  if (!store) return StoreSweepResult{};
+  return store->Sweep(max_bytes, max_files);
 }
 
 std::size_t GraphCache::size() const {

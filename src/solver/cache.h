@@ -24,9 +24,14 @@
 // a fresh process — or a different machine sharing the directory — starts
 // with the previous trajectory instead of an empty cache. Corrupt or
 // truncated files fail soft: the query rebuilds and overwrites them.
+// Store loads and saves run *outside* the map mutex (the store handle is
+// snapshotted under the lock, the I/O happens unlocked, and the result is
+// reconciled with a double-checked promote), so concurrent queries never
+// convoy behind disk I/O.
 #ifndef AMALGAM_SOLVER_CACHE_H_
 #define AMALGAM_SOLVER_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -40,6 +45,7 @@
 namespace amalgam {
 
 class GraphStore;
+struct StoreSweepResult;
 
 /// A keyed store of sub-transition graphs (complete or partial).
 /// Thread-safe; share one cache across all queries that may repeat a
@@ -61,7 +67,8 @@ class GraphCache {
 
   /// Attaches the disk tier rooted at `dir` (created if absent; throws
   /// std::runtime_error when that fails). Re-attaching the same directory
-  /// is a no-op; a different directory replaces the tier. The disk cap is
+  /// is a no-op; a different directory replaces the tier (in-flight I/O
+  /// against the old tier finishes on the old handle). The disk cap is
   /// the filesystem's — the LRU cap governs memory only, and evicted
   /// entries remain loadable from disk.
   void AttachStore(const std::string& dir);
@@ -74,14 +81,22 @@ class GraphCache {
   /// As above, but a memory miss falls through to the attached store (if
   /// any): a successful load — `schema`, `guards` and `k` supply the
   /// deserialization context, which the caller owns because it also built
-  /// `key` — is promoted into the memory tier and counts as a hit. A
-  /// missing, corrupt or truncated file counts as a miss (plus
-  /// store_load_failures() when a file was present) and the caller builds
-  /// fresh. The returned graph may be partial — check complete() and
-  /// resume from cursor() on a copy.
+  /// `key` — is promoted into the memory tier and counts as a hit. The
+  /// disk read runs outside the map mutex; if a racing query populated the
+  /// key meanwhile, the double-checked promote keeps whichever graph is
+  /// further along. A missing, corrupt or truncated file counts as a miss
+  /// (plus store_load_failures() when a file was present) and the caller
+  /// builds fresh. The returned graph may be partial — check complete()
+  /// and resume from cursor() on a copy.
   std::shared_ptr<const SubTransitionGraph> Lookup(
       const std::string& key, const SchemaRef& schema,
       std::span<const FormulaRef> guards, int k);
+
+  /// The memory-tier entry for `key` without counting a hit or miss and
+  /// without freshening its eviction rank — a pure side-effect-free probe
+  /// (used by the query service to decide whether a request needs the
+  /// single-flight build path). Never touches the disk tier.
+  std::shared_ptr<const SubTransitionGraph> Peek(const std::string& key) const;
 
   /// Stores a graph under `key`, evicting the least-recently-hit entry if
   /// a cap is set and reached. Partial graphs are first-class entries; an
@@ -89,38 +104,39 @@ class GraphCache {
   /// (lexicographically by cursor phase, cursor position, edge count), so
   /// a complete entry is never downgraded and re-inserting equal progress
   /// is a no-op ("first insert wins" for complete graphs, as before).
-  /// Accepted inserts are written through to the attached store. Throws
-  /// std::invalid_argument on a null graph.
+  /// Accepted inserts are written through to the attached store, outside
+  /// the map mutex. Throws std::invalid_argument on a null graph.
   void Insert(const std::string& key,
               std::shared_ptr<const SubTransitionGraph> graph);
 
-  std::uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return hits_;
-  }
+  /// Applies GraphStore::Sweep(max_bytes, max_files) to the attached disk
+  /// tier (no-op without one), outside the map mutex. Returns what was
+  /// removed/kept; see store.h for the LRU-by-atime policy.
+  StoreSweepResult SweepStore(std::uint64_t max_bytes,
+                              std::uint64_t max_files);
+
+  // Stats are plain atomics: they are written concurrently by queries on
+  // other threads, and reading them must never tear or take the map mutex
+  // (the query service aggregates them on its stats path).
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return misses_;
+    return misses_.load(std::memory_order_relaxed);
   }
   std::uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return evictions_;
+    return evictions_.load(std::memory_order_relaxed);
   }
   /// Graphs deserialized from the disk tier.
   std::uint64_t store_loads() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return store_loads_;
+    return store_loads_.load(std::memory_order_relaxed);
   }
   /// Store files present but unreadable (truncated, corrupt, key or schema
   /// mismatch, version skew); each one fell back to a fresh build.
   std::uint64_t store_load_failures() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return store_load_failures_;
+    return store_load_failures_.load(std::memory_order_relaxed);
   }
   /// Graphs written through to the disk tier.
   std::uint64_t store_writes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return store_writes_;
+    return store_writes_.load(std::memory_order_relaxed);
   }
   std::size_t max_entries() const { return max_entries_; }
   std::size_t size() const;
@@ -133,12 +149,17 @@ class GraphCache {
     std::list<std::string>::iterator lru_pos;
   };
 
-  /// The shared insert path; `write_store` distinguishes fresh results
-  /// (written through) from graphs just loaded off disk (not rewritten).
-  /// Returns true when the entry was accepted. Caller holds mutex_.
-  bool InsertLocked(const std::string& key,
-                    std::shared_ptr<const SubTransitionGraph> graph,
-                    bool write_store);
+  /// The shared insert path: map update only, no I/O. Returns the graph
+  /// to write through to the store (non-null only when the entry was
+  /// accepted and `want_store_write`), so the caller can perform the disk
+  /// write after releasing mutex_. Caller holds mutex_.
+  std::shared_ptr<const SubTransitionGraph> InsertLocked(
+      const std::string& key, std::shared_ptr<const SubTransitionGraph> graph,
+      bool want_store_write);
+
+  /// The attached store handle, snapshotted under the lock so I/O can run
+  /// without it (AttachStore may swap the tier concurrently).
+  std::shared_ptr<const GraphStore> StoreSnapshot() const;
 
   mutable std::mutex mutex_;
   const std::size_t max_entries_;
@@ -146,13 +167,13 @@ class GraphCache {
   // Recency order, most recently hit/inserted first; entries hold their
   // own key so eviction can erase from the map.
   std::list<std::string> lru_;
-  std::unique_ptr<GraphStore> store_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t store_loads_ = 0;
-  std::uint64_t store_load_failures_ = 0;
-  std::uint64_t store_writes_ = 0;
+  std::shared_ptr<const GraphStore> store_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> store_loads_{0};
+  std::atomic<std::uint64_t> store_load_failures_{0};
+  std::atomic<std::uint64_t> store_writes_{0};
 };
 
 }  // namespace amalgam

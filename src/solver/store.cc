@@ -1,5 +1,6 @@
 #include "solver/store.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -10,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "util/hash.h"
@@ -541,6 +543,60 @@ bool GraphStore::Save(const std::string& key,
     return false;
   }
   return true;
+}
+
+StoreSweepResult GraphStore::Sweep(std::uint64_t max_bytes,
+                                   std::uint64_t max_files) const {
+  StoreSweepResult result;
+  if (max_bytes == 0 && max_files == 0) return result;
+
+  struct FileInfo {
+    std::string path;
+    std::uint64_t size = 0;
+    // Last-use time in nanoseconds; atime where it is being maintained,
+    // otherwise mtime (relatime mounts may leave atime frozen before the
+    // last write, in which case the write is the best lower bound on use).
+    std::int64_t used_ns = 0;
+  };
+  std::vector<FileInfo> files;
+  std::uint64_t total_bytes = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::filesystem::path& p = entry.path();
+    if (p.extension() != ".amg") continue;  // skip temp files and strangers
+    struct stat st;
+    if (::stat(p.c_str(), &st) != 0) continue;
+    const std::int64_t atime_ns =
+        st.st_atim.tv_sec * 1'000'000'000LL + st.st_atim.tv_nsec;
+    const std::int64_t mtime_ns =
+        st.st_mtim.tv_sec * 1'000'000'000LL + st.st_mtim.tv_nsec;
+    files.push_back(FileInfo{p.string(), static_cast<std::uint64_t>(st.st_size),
+                             std::max(atime_ns, mtime_ns)});
+    total_bytes += static_cast<std::uint64_t>(st.st_size);
+  }
+  // Oldest-use first: those go first when a cap is exceeded.
+  std::sort(files.begin(), files.end(),
+            [](const FileInfo& a, const FileInfo& b) {
+              return a.used_ns != b.used_ns ? a.used_ns < b.used_ns
+                                            : a.path < b.path;
+            });
+  std::uint64_t remaining_files = files.size();
+  for (const FileInfo& f : files) {
+    const bool over_files = max_files > 0 && remaining_files > max_files;
+    const bool over_bytes = max_bytes > 0 && total_bytes > max_bytes;
+    if (!over_files && !over_bytes) break;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(f.path, remove_ec) && !remove_ec) {
+      ++result.files_removed;
+      result.bytes_removed += f.size;
+      --remaining_files;
+      total_bytes -= f.size;
+    }
+  }
+  result.files_kept = remaining_files;
+  result.bytes_kept = total_bytes;
+  return result;
 }
 
 }  // namespace amalgam

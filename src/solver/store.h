@@ -67,12 +67,21 @@ std::shared_ptr<SubTransitionGraph> DeserializeGraph(
     std::string_view bytes, std::string_view key, const SchemaRef& schema,
     std::span<const FormulaRef> guards, int k);
 
+/// What GraphStore::Sweep removed and what survived it.
+struct StoreSweepResult {
+  std::uint64_t files_removed = 0;
+  std::uint64_t bytes_removed = 0;
+  std::uint64_t files_kept = 0;
+  std::uint64_t bytes_kept = 0;
+};
+
 /// A directory of serialized graphs, one file per cache key (file names
 /// are a hash of the key; the key stored inside the file disambiguates
 /// hash collisions, which simply behave as misses). All methods are
-/// const and touch only the filesystem; GraphCache serializes access
-/// through its own mutex — see the README's threading notes for the
-/// cross-process story (atomic renames; torn readers rebuild).
+/// const and touch only the filesystem — callers coordinate concurrency
+/// themselves (GraphCache snapshots the handle and runs I/O outside its
+/// map mutex) — see the README's threading notes for the cross-process
+/// story (atomic renames; torn readers rebuild).
 class GraphStore {
  public:
   /// Creates `dir` (recursively) if it does not exist. Throws
@@ -105,6 +114,17 @@ class GraphStore {
   /// false means the write failed or was skipped in favor of the
   /// further-along incumbent.
   bool Save(const std::string& key, const SubTransitionGraph& graph) const;
+
+  /// Caps the disk tier: while the store holds more than `max_files` graph
+  /// files or more than `max_bytes` of them, the least-recently-*read* file
+  /// (by atime, falling back to mtime where atime is older than the write —
+  /// a conservative LRU under relatime mounts) is deleted. 0 means
+  /// unlimited for either cap; Sweep(0, 0) is a no-op. Only "*.amg" graph
+  /// files are considered — foreign files and in-flight ".tmp.*" writes are
+  /// never touched. Deleting a file a concurrent query is about to read is
+  /// benign: the load misses and the query rebuilds (the same contract as
+  /// a corrupt file).
+  StoreSweepResult Sweep(std::uint64_t max_bytes, std::uint64_t max_files) const;
 
  private:
   std::string dir_;

@@ -5,7 +5,11 @@
 // enumerate different member streams.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "fraisse/data_class.h"
 #include "fraisse/relational.h"
@@ -278,6 +282,118 @@ TEST(GraphCacheTest, FingerprintsSeparateBackends) {
   TreeRunClass t3(&chains, 3);
   TreeRunClass t4(&chains, 4);
   EXPECT_NE(t3.Fingerprint(), t4.Fingerprint());
+}
+
+TEST(GraphCacheTest, PeekIsSideEffectFree) {
+  GraphCache cache(/*max_entries=*/2);
+  auto graph = TinyCompleteGraph();
+  EXPECT_EQ(cache.Peek("missing"), nullptr);
+  EXPECT_EQ(cache.misses(), 0u) << "Peek must not count a miss";
+
+  cache.Insert("a", graph);
+  cache.Insert("b", graph);
+  EXPECT_NE(cache.Peek("a"), nullptr);
+  EXPECT_EQ(cache.hits(), 0u) << "Peek must not count a hit";
+
+  // Peek("a") must not have freshened "a": "a" (inserted first) is still
+  // the eviction victim.
+  cache.Insert("c", graph);
+  EXPECT_EQ(cache.Peek("a"), nullptr) << "Peek must not touch LRU order";
+  EXPECT_NE(cache.Peek("b"), nullptr);
+}
+
+TEST(GraphCacheTest, StatsStayCoherentUnderConcurrentQueries) {
+  // Readers hammer every stats accessor while writers insert, look up and
+  // evict; TSan (this test is in the tsan CI job) verifies the counters
+  // are race-free and the final tallies must balance exactly.
+  GraphCache cache(/*max_entries=*/4);
+  auto graph = TinyCompleteGraph();
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 200;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t sink = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      sink += cache.hits() + cache.misses() + cache.evictions() +
+              cache.store_loads() + cache.store_load_failures() +
+              cache.store_writes();
+    }
+    // The sum is meaningless; reading it is the point.
+    EXPECT_GE(sink, 0u);
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&cache, &graph, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const std::string key =
+            "key" + std::to_string((w * kOpsPerWriter + i) % 8);
+        if (i % 2 == 0) {
+          cache.Insert(key, graph);
+        } else {
+          cache.Lookup(key);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kWriters) * kOpsPerWriter / 2)
+      << "every Lookup counted exactly one hit or one miss";
+}
+
+TEST(GraphCacheTest, ConcurrentColdStoreLookupsDoNotConvoyOrRace) {
+  // Two threads race a cold store-backed lookup of one key: both must get
+  // a valid graph (loaded from disk outside the map mutex; the
+  // double-checked promote reconciles), with no deadlock and no race.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "graph_cache_concurrent_store";
+  fs::remove_all(dir);
+
+  AllStructuresClass cls(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();
+  std::vector<FormulaRef> guards;
+  for (const TransitionRule& rule : system.rules()) {
+    guards.push_back(rule.guard);
+  }
+  const std::string key =
+      GraphCache::Key(cls, system.num_registers(), guards);
+  {
+    // Seed the directory with a complete graph.
+    GraphCache seeder;
+    seeder.AttachStore(dir.string());
+    SolveOptions options;
+    options.build_witness = false;
+    options.cache = &seeder;
+    SolveEmptiness(system, cls, options);
+    ASSERT_GE(seeder.store_writes(), 1u);
+  }
+
+  GraphCache cache;
+  cache.AttachStore(dir.string());
+  std::vector<std::shared_ptr<const SubTransitionGraph>> results(4);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] {
+      results[t] = cache.Lookup(key, cls.schema(), guards,
+                                system.num_registers());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->complete());
+  }
+  EXPECT_GE(cache.store_loads(), 1u);
+  EXPECT_EQ(cache.store_load_failures(), 0u);
+  // Whatever the interleaving, one memory entry survives and later
+  // lookups are pure memory hits.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Lookup(key), nullptr);
 }
 
 TEST(GraphCacheTest, FingerprintsAreInjectionSafe) {

@@ -1,0 +1,467 @@
+// Tests for the concurrent query service: single-flight coalescing of
+// concurrent identical cold queries (exactly one graph build — one cache
+// miss, the rest joins), verdict parity with the synchronous front doors
+// across the system/words/trees zoos under mixed-key stress, graceful
+// drain-during-inflight shutdown, in-band error delivery, the shared
+// store tier, and the JSONL protocol layer behind amalgamd. Runs under
+// the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fraisse/relational.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "solver/emptiness.h"
+#include "system/zoo.h"
+#include "trees/solve.h"
+#include "trees/zoo.h"
+#include "words/solve.h"
+#include "words/zoo.h"
+
+namespace amalgam {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ServiceStoreDir(const std::string& name) {
+  const char* env = std::getenv("AMALGAM_STORE_TEST_DIR");
+  const fs::path base =
+      (env && *env) ? fs::path(env) : fs::path(::testing::TempDir());
+  const fs::path dir = base / ("service_store_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+QueryRequest ReachRedRequest() {
+  QueryRequest request;
+  request.kind = QueryKind::kSystem;
+  request.system = std::make_shared<DdsSystem>(ReachRedSystem());
+  request.cls = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  return request;
+}
+
+TEST(ServiceTest, SingleFlightColdBatchBuildsExactlyOnce) {
+  // Eight concurrent identical cold queries: SubmitBatch registers the
+  // whole batch in the single-flight table before any worker starts, so
+  // exactly one query (the leader) builds the graph — the cache records
+  // one miss — and the other seven join: they wait for the leader, replay
+  // the cached graph as a pure BFS (zero enumeration) and count as hits.
+  QueryService::Options options;
+  options.num_workers = 8;
+  QueryService service(options);
+
+  const bool expected =
+      SolveEmptiness(*ReachRedRequest().system, *ReachRedRequest().cls,
+                     SolveOptions{.build_witness = false})
+          .nonempty;
+
+  std::vector<QueryRequest> batch(8, ReachRedRequest());
+  std::vector<std::future<QueryResult>> futures =
+      service.SubmitBatch(std::move(batch));
+
+  int builders = 0;
+  int coalesced = 0;
+  for (auto& future : futures) {
+    QueryResult result = future.get();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.nonempty, expected);
+    if (result.stats.members_enumerated > 0) ++builders;
+    if (result.coalesced) ++coalesced;
+  }
+  EXPECT_EQ(builders, 1) << "exactly one query may touch the backend";
+  EXPECT_EQ(coalesced, 7);
+
+  service.Drain();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queries, 8u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.single_flight_leads, 1u);
+  EXPECT_EQ(stats.coalesced_joins, 7u);
+  EXPECT_EQ(stats.cache_misses, 1u) << "one cold build, not eight";
+  EXPECT_EQ(stats.cache_hits, 7u);
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_GE(stats.p95_latency_ms, stats.p50_latency_ms);
+}
+
+TEST(ServiceTest, VerdictsMatchEverySynchronousFrontDoor) {
+  QueryService::Options options;
+  options.num_workers = 4;
+  QueryService service(options);
+
+  // kSystem.
+  auto sys = ReachRedRequest();
+  const bool sys_expected =
+      SolveEmptiness(*sys.system, *sys.cls, SolveOptions{.build_witness = false})
+          .nonempty;
+
+  // kWord.
+  QueryRequest word;
+  word.kind = QueryKind::kWord;
+  word.system = std::make_shared<DdsSystem>(ZigZagSystem(1));
+  word.nfa = std::make_shared<Nfa>(NfaAPlusBPlus());
+  const bool word_expected =
+      SolveWordEmptiness(*word.system, *word.nfa, /*build_witness=*/false)
+          .nonempty;
+
+  // kTree.
+  QueryRequest tree;
+  tree.kind = QueryKind::kTree;
+  tree.automaton = std::make_shared<TreeAutomaton>(TaTwoLevel());
+  tree.system = std::make_shared<DdsSystem>(DescendSystem(*tree.automaton, 1));
+  tree.extra_pattern_cap = 3;
+  const bool tree_expected =
+      SolveTreeEmptiness(*tree.system, *tree.automaton, /*witness_size_cap=*/0,
+                         /*extra_pattern_cap=*/3)
+          .nonempty;
+
+  // kBranching: two branches that must both be satisfiable from the same
+  // parent database.
+  QueryRequest branching;
+  branching.kind = QueryKind::kBranching;
+  auto bsys = std::make_shared<BranchingSystem>(GraphZooSchema());
+  bsys->AddRegister("x");
+  int a = bsys->AddState("a", /*initial=*/true);
+  int b = bsys->AddState("b", /*initial=*/false, /*accepting=*/true);
+  bsys->AddRule(a, {{"E(x_old, x_new)", b}, {"red(x_new)", b}});
+  branching.branching = bsys;
+  branching.cls = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  const bool branching_expected =
+      SolveBranchingEmptiness(*branching.branching, *branching.cls).nonempty;
+
+  std::vector<std::future<QueryResult>> futures = service.SubmitBatch(
+      {sys, word, tree, branching});
+  ASSERT_EQ(futures.size(), 4u);
+  QueryResult sys_result = futures[0].get();
+  QueryResult word_result = futures[1].get();
+  QueryResult tree_result = futures[2].get();
+  QueryResult branching_result = futures[3].get();
+  ASSERT_TRUE(sys_result.ok) << sys_result.error;
+  ASSERT_TRUE(word_result.ok) << word_result.error;
+  ASSERT_TRUE(tree_result.ok) << tree_result.error;
+  ASSERT_TRUE(branching_result.ok) << branching_result.error;
+  EXPECT_EQ(sys_result.nonempty, sys_expected);
+  EXPECT_EQ(word_result.nonempty, word_expected);
+  EXPECT_EQ(tree_result.nonempty, tree_expected);
+  EXPECT_EQ(branching_result.nonempty, branching_expected);
+}
+
+TEST(ServiceTest, SingleFlightKeysAgreeWithEngineKeys) {
+  // The service mirrors each front door's cache-key derivation for its
+  // flight table (service.cc's ComputeGraphKey). If the two ever diverge
+  // for some kind, the leader's build lands under a key the engine never
+  // looks up (or vice versa), and a cold identical pair stops coalescing
+  // onto one build — so: one cache miss per unique request, one coalesced
+  // join per duplicate, across every front-door kind.
+  QueryRequest word;
+  word.kind = QueryKind::kWord;
+  word.system = std::make_shared<DdsSystem>(ZigZagSystem(1));
+  word.nfa = std::make_shared<Nfa>(NfaAPlusBPlus());
+
+  QueryRequest tree;
+  tree.kind = QueryKind::kTree;
+  tree.automaton = std::make_shared<TreeAutomaton>(TaTwoLevel());
+  tree.system = std::make_shared<DdsSystem>(DescendSystem(*tree.automaton, 1));
+  tree.extra_pattern_cap = 3;
+
+  QueryRequest branching;
+  branching.kind = QueryKind::kBranching;
+  auto bsys = std::make_shared<BranchingSystem>(GraphZooSchema());
+  bsys->AddRegister("x");
+  int a = bsys->AddState("a", /*initial=*/true);
+  int b = bsys->AddState("b", /*initial=*/false, /*accepting=*/true);
+  bsys->AddRule(a, {{"E(x_old, x_new)", b}});
+  branching.branching = bsys;
+  branching.cls = std::make_shared<AllStructuresClass>(GraphZooSchema());
+
+  QueryService::Options options;
+  options.num_workers = 4;
+  QueryService service(options);
+  std::vector<std::future<QueryResult>> futures = service.SubmitBatch(
+      {ReachRedRequest(), ReachRedRequest(), word, word, tree, tree,
+       branching, branching});
+  for (auto& future : futures) {
+    QueryResult result = future.get();
+    ASSERT_TRUE(result.ok) << result.error;
+  }
+  service.Drain();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_misses, 4u) << "one cold build per unique key";
+  EXPECT_EQ(stats.single_flight_leads, 4u);
+  EXPECT_EQ(stats.coalesced_joins, 4u) << "every duplicate joined its leader";
+}
+
+TEST(ServiceTest, MixedKeyStressAcrossTheZoos) {
+  // A shuffled pile of repeated queries across all zoos: every verdict
+  // must match the synchronous answer, whatever interleaving the worker
+  // pool picks and however the single-flight table carves up the builds.
+  std::vector<QueryRequest> unique_requests;
+  std::vector<bool> expected;
+
+  auto cls = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  for (DdsSystem zoo_system :
+       {OddRedCycleSystem(), ReachRedSystem(), ContradictionSystem()}) {
+    QueryRequest request;
+    request.kind = QueryKind::kSystem;
+    request.system = std::make_shared<DdsSystem>(std::move(zoo_system));
+    request.cls = cls;
+    expected.push_back(
+        SolveEmptiness(*request.system, *cls,
+                       SolveOptions{.build_witness = false})
+            .nonempty);
+    unique_requests.push_back(std::move(request));
+  }
+  {
+    QueryRequest request;
+    request.kind = QueryKind::kWord;
+    request.system = std::make_shared<DdsSystem>(TwoMarkersSystem());
+    request.nfa = std::make_shared<Nfa>(NfaAllAB());
+    expected.push_back(
+        SolveWordEmptiness(*request.system, *request.nfa, false).nonempty);
+    unique_requests.push_back(std::move(request));
+  }
+  {
+    QueryRequest request;
+    request.kind = QueryKind::kTree;
+    request.automaton = std::make_shared<TreeAutomaton>(TaComb());
+    request.system =
+        std::make_shared<DdsSystem>(FindBBelowSystem(*request.automaton));
+    request.extra_pattern_cap = 3;
+    expected.push_back(SolveTreeEmptiness(*request.system, *request.automaton,
+                                          0, 3)
+                           .nonempty);
+    unique_requests.push_back(std::move(request));
+  }
+
+  QueryService::Options options;
+  options.num_workers = 4;
+  QueryService service(options);
+
+  // Interleave 4 rounds of every request.
+  std::vector<QueryRequest> batch;
+  std::vector<bool> batch_expected;
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < unique_requests.size(); ++i) {
+      batch.push_back(unique_requests[i]);
+      batch_expected.push_back(expected[i]);
+    }
+  }
+  std::vector<std::future<QueryResult>> futures =
+      service.SubmitBatch(std::move(batch));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    QueryResult result = futures[i].get();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.nonempty, batch_expected[i]) << "request " << i;
+  }
+  service.Drain();
+  EXPECT_EQ(service.Stats().queries, futures.size());
+  EXPECT_EQ(service.Stats().failed, 0u);
+}
+
+TEST(ServiceTest, ShutdownDrainsInflightQueriesGracefully) {
+  auto request = ReachRedRequest();
+  std::vector<std::future<QueryResult>> futures;
+  {
+    QueryService::Options options;
+    options.num_workers = 2;
+    QueryService service(options);
+    futures = service.SubmitBatch(std::vector<QueryRequest>(6, request));
+    service.Shutdown();  // must wait for all six, not abandon them
+    EXPECT_THROW(service.Submit(request), std::runtime_error);
+    EXPECT_EQ(service.Stats().queries, 6u);
+    EXPECT_EQ(service.Stats().pending, 0u);
+  }
+  // The service is gone; every future must already hold a result.
+  for (auto& future : futures) {
+    QueryResult result = future.get();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_TRUE(result.nonempty);
+  }
+}
+
+TEST(ServiceTest, ErrorsArriveInBandNotAsBrokenFutures) {
+  QueryService service;
+
+  // Missing inputs are caught at submit time.
+  QueryRequest incomplete;
+  incomplete.kind = QueryKind::kSystem;
+  QueryResult r1 = service.Submit(incomplete).get();
+  EXPECT_FALSE(r1.ok);
+  EXPECT_FALSE(r1.error.empty());
+
+  // A zero-register word query passes key setup of the run class but the
+  // front door rejects it — still an in-band error.
+  QueryRequest zero_reg;
+  zero_reg.kind = QueryKind::kWord;
+  auto system = std::make_shared<DdsSystem>(MakeWordSchema({"a", "b"}));
+  system->AddState("only", /*initial=*/true, /*accepting=*/true);
+  zero_reg.system = system;
+  zero_reg.nfa = std::make_shared<Nfa>(NfaAllAB());
+  QueryResult r2 = service.Submit(zero_reg).get();
+  EXPECT_FALSE(r2.ok);
+  EXPECT_FALSE(r2.error.empty());
+
+  service.Drain();
+  EXPECT_EQ(service.Stats().failed, 2u);
+
+  // Healthy queries still run on the same service afterwards.
+  QueryResult r3 = service.Submit(ReachRedRequest()).get();
+  ASSERT_TRUE(r3.ok) << r3.error;
+  EXPECT_TRUE(r3.nonempty);
+}
+
+TEST(ServiceTest, StoreTierSharedAcrossServiceRestarts) {
+  const std::string dir = ServiceStoreDir("restart");
+
+  QueryService::Options options;
+  options.num_workers = 2;
+  options.store_dir = dir;
+  bool first_verdict;
+  {
+    QueryService service(options);
+    QueryRequest request = ReachRedRequest();
+    request.strategy = SolveStrategy::kEager;  // complete graph on disk
+    QueryResult result = service.Submit(request).get();
+    ASSERT_TRUE(result.ok) << result.error;
+    first_verdict = result.nonempty;
+    EXPECT_GE(service.Stats().store_writes, 1u);
+  }
+  {
+    QueryService service(options);  // fresh process, same directory
+    QueryResult result = service.Submit(ReachRedRequest()).get();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.nonempty, first_verdict);
+    EXPECT_EQ(result.stats.members_enumerated, 0u)
+        << "the persisted complete graph must serve the fresh service";
+    EXPECT_EQ(service.Stats().store_loads, 1u);
+  }
+}
+
+TEST(ServiceTest, StoreSweepCapsTheDiskTier) {
+  const std::string dir = ServiceStoreDir("sweep");
+  QueryService::Options options;
+  options.num_workers = 2;
+  options.store_dir = dir;
+  QueryService service(options);
+
+  // Three different guard sets -> three store files.
+  auto cls = std::make_shared<AllStructuresClass>(GraphZooSchema());
+  for (DdsSystem zoo_system :
+       {OddRedCycleSystem(), ReachRedSystem(), ContradictionSystem()}) {
+    QueryRequest request;
+    request.kind = QueryKind::kSystem;
+    request.system = std::make_shared<DdsSystem>(std::move(zoo_system));
+    request.cls = cls;
+    request.strategy = SolveStrategy::kEager;
+    ASSERT_TRUE(service.Submit(request).get().ok);
+  }
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    files += entry.path().extension() == ".amg";
+  }
+  ASSERT_EQ(files, 3u);
+
+  StoreSweepResult swept = service.SweepStore(/*max_bytes=*/0, /*max_files=*/1);
+  EXPECT_EQ(swept.files_removed, 2u);
+  EXPECT_EQ(swept.files_kept, 1u);
+  EXPECT_GT(swept.bytes_removed, 0u);
+
+  // Swept keys simply rebuild; the survivor still loads.
+  QueryResult rebuilt = service.Submit(ReachRedRequest()).get();
+  ASSERT_TRUE(rebuilt.ok) << rebuilt.error;
+}
+
+// ---- The JSONL protocol layer. ----
+
+TEST(ServiceTest, ProtocolParsesZooQueryLines) {
+  ProtocolRequest request = ParseRequestLine(
+      R"({"id":7,"kind":"words","nfa":"aplus_bplus","system":"zigzag"})");
+  ASSERT_TRUE(request.error.empty()) << request.error;
+  EXPECT_EQ(request.op, ProtocolRequest::Op::kQuery);
+  EXPECT_EQ(request.id_json, "7");
+  EXPECT_EQ(request.query.kind, QueryKind::kWord);
+  ASSERT_NE(request.query.system, nullptr);
+  ASSERT_NE(request.query.nfa, nullptr);
+}
+
+TEST(ServiceTest, ProtocolParsesSpecDescribedSystems) {
+  ProtocolRequest request = ParseRequestLine(R"json({
+    "id":"q1","kind":"system","class":"all",
+    "schema":{"relations":[["E",2],["red",1]]},
+    "system":{"registers":["x"],
+              "states":[{"name":"a","initial":true},
+                        {"name":"b","accepting":true}],
+              "rules":[{"from":"a","to":"b","guard":"red(x_new)"}]}})json");
+  ASSERT_TRUE(request.error.empty()) << request.error;
+  ASSERT_NE(request.query.system, nullptr);
+  EXPECT_EQ(request.query.system->num_registers(), 1);
+  EXPECT_EQ(request.query.system->num_states(), 2);
+  EXPECT_EQ(request.id_json, "\"q1\"");
+
+  // The spec round-trips through a real solve.
+  QueryService service;
+  QueryResult result = service.Submit(std::move(request.query)).get();
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.nonempty);
+}
+
+TEST(ServiceTest, ProtocolRejectsBadLinesWithoutDying) {
+  EXPECT_FALSE(ParseRequestLine("not json at all").error.empty());
+  EXPECT_FALSE(ParseRequestLine("[1,2,3]").error.empty());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"kind":"nope","system":"reach_red"})").error.empty());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"kind":"system"})").error.empty());
+  EXPECT_FALSE(ParseRequestLine(
+                   R"({"kind":"branching","class":"all","system":"x"})")
+                   .error.empty());
+  // A guard that does not parse is reported, not thrown.
+  ProtocolRequest bad_guard = ParseRequestLine(R"json({
+    "kind":"system",
+    "system":{"registers":["x"],
+              "states":[{"name":"a","initial":true}],
+              "rules":[{"from":"a","to":"a","guard":"E(x_old"}]}})json");
+  EXPECT_FALSE(bad_guard.error.empty());
+}
+
+TEST(ServiceTest, JsonRoundTripsProtocolPayloads) {
+  auto parsed = ParseJson(
+      R"({"a":[1,2.5,-3],"b":"q\"uote","c":{"d":true,"e":null}})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Get("a")->array.size(), 3u);
+  EXPECT_EQ(parsed->Get("b")->string, "q\"uote");
+  EXPECT_TRUE(parsed->Get("c")->Get("d")->boolean);
+  EXPECT_TRUE(parsed->Get("c")->Get("e")->is_null());
+  // Serialize -> parse -> serialize is a fixpoint.
+  const std::string once = JsonToString(*parsed);
+  auto reparsed = ParseJson(once);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(JsonToString(*reparsed), once);
+
+  EXPECT_FALSE(ParseJson("{\"a\":}").has_value());
+  EXPECT_FALSE(ParseJson("{} trailing").has_value());
+  EXPECT_FALSE(ParseJson("\"unterminated").has_value());
+}
+
+TEST(ServiceTest, JsonRejectsHostileNestingDepthWithoutCrashing) {
+  // One line of brackets must come back as a parse error, not blow the
+  // stack and kill the daemon (the parser recurses per nesting level).
+  const std::string bomb(100000, '[');
+  EXPECT_FALSE(ParseJson(bomb).has_value());
+  EXPECT_FALSE(ParseJson(std::string(200, '[') + std::string(200, ']'))
+                   .has_value())
+      << "past the documented 128-level cap";
+  // Reasonable nesting still parses.
+  std::string deep = std::string(50, '[') + "1" + std::string(50, ']');
+  EXPECT_TRUE(ParseJson(deep).has_value());
+}
+
+}  // namespace
+}  // namespace amalgam

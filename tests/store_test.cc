@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include <sys/time.h>
+
 #include "fraisse/relational.h"
 #include "solver/branching.h"
 #include "solver/cache.h"
@@ -451,6 +453,116 @@ TEST(StoreTest, WordTreeAndBranchingFrontDoorsPersist) {
     EXPECT_TRUE(resumed.stats.graph_resumed);
     EXPECT_TRUE(resumed.nonempty);
   }
+}
+
+// Backdates a store file's atime and mtime so Sweep's LRU order is
+// deterministic regardless of timestamp granularity.
+void BackdateFile(const std::string& path, int seconds_ago) {
+  struct timeval times[2];
+  ::gettimeofday(&times[0], nullptr);
+  times[0].tv_sec -= seconds_ago;
+  times[1] = times[0];
+  ASSERT_EQ(::utimes(path.c_str(), times), 0) << path;
+}
+
+TEST(StoreTest, SweepEvictsLeastRecentlyUsedFilesFirst) {
+  const std::string dir = StoreDir("sweep_lru");
+  GraphStore store(dir);
+  AllStructuresClass all(GraphZooSchema());
+
+  // Three keys with distinct guard sets -> three files of similar size.
+  std::vector<std::string> keys;
+  std::vector<std::vector<FormulaRef>> guard_sets;
+  for (const DdsSystem& system :
+       {OddRedCycleSystem(), ReachRedSystem(), ContradictionSystem()}) {
+    std::vector<FormulaRef> guards = GuardsOf(system);
+    auto graph = std::make_shared<SubTransitionGraph>(guards,
+                                                      system.num_registers());
+    SolveStats stats;
+    graph->BuildFull(all, stats);
+    const std::string key =
+        GraphCache::Key(all, system.num_registers(), guards);
+    ASSERT_TRUE(store.Save(key, *graph));
+    keys.push_back(key);
+    guard_sets.push_back(std::move(guards));
+  }
+  // Ages: keys[0] oldest, keys[2] freshest.
+  BackdateFile(store.PathFor(keys[0]), 300);
+  BackdateFile(store.PathFor(keys[1]), 200);
+  BackdateFile(store.PathFor(keys[2]), 100);
+
+  StoreSweepResult swept = store.Sweep(/*max_bytes=*/0, /*max_files=*/2);
+  EXPECT_EQ(swept.files_removed, 1u);
+  EXPECT_EQ(swept.files_kept, 2u);
+  EXPECT_GT(swept.bytes_removed, 0u);
+  EXPECT_FALSE(fs::exists(store.PathFor(keys[0])))
+      << "the least recently used file goes first";
+  EXPECT_TRUE(fs::exists(store.PathFor(keys[1])));
+  EXPECT_TRUE(fs::exists(store.PathFor(keys[2])));
+
+  // A byte cap of 1 clears everything (each file exceeds one byte); the
+  // evicted keys just rebuild on their next query.
+  swept = store.Sweep(/*max_bytes=*/1, /*max_files=*/0);
+  EXPECT_EQ(swept.files_removed, 2u);
+  EXPECT_EQ(swept.files_kept, 0u);
+  EXPECT_EQ(swept.bytes_kept, 0u);
+}
+
+TEST(StoreTest, SweepWithoutCapsIsANoOp) {
+  const std::string dir = StoreDir("sweep_noop");
+  GraphStore store(dir);
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  auto graph =
+      std::make_shared<SubTransitionGraph>(guards, system.num_registers());
+  SolveStats stats;
+  graph->BuildFull(all, stats);
+  const std::string key = GraphCache::Key(all, system.num_registers(), guards);
+  ASSERT_TRUE(store.Save(key, *graph));
+
+  StoreSweepResult swept = store.Sweep(0, 0);
+  EXPECT_EQ(swept.files_removed, 0u);
+  EXPECT_EQ(swept.files_kept, 0u) << "an uncapped sweep does not even scan";
+  EXPECT_TRUE(fs::exists(store.PathFor(key)));
+
+  // Foreign files and in-flight temp files are never touched.
+  std::ofstream(dir + "/notes.txt") << "keep me";
+  std::ofstream(store.PathFor(key) + ".tmp.123.0") << "half a write";
+  swept = store.Sweep(/*max_bytes=*/1, /*max_files=*/0);
+  EXPECT_EQ(swept.files_removed, 1u);
+  EXPECT_TRUE(fs::exists(dir + "/notes.txt"));
+  EXPECT_TRUE(fs::exists(store.PathFor(key) + ".tmp.123.0"));
+}
+
+TEST(StoreTest, SolveOptionsSweepKnobCapsTheStore) {
+  const std::string dir = StoreDir("sweep_knob");
+  AllStructuresClass all(GraphZooSchema());
+  GraphCache cache;
+  cache.AttachStore(dir);
+
+  // Build up two persisted graphs, then run a third query with a
+  // one-file cap: after it completes the directory must hold one file.
+  for (const DdsSystem& system : {OddRedCycleSystem(), ReachRedSystem()}) {
+    SolveOptions options;
+    options.build_witness = false;
+    options.strategy = SolveStrategy::kEager;
+    options.cache = &cache;
+    SolveEmptiness(system, all, options);
+  }
+  SolveOptions capped;
+  capped.build_witness = false;
+  capped.strategy = SolveStrategy::kEager;
+  capped.cache = &cache;
+  capped.store_max_files = 1;
+  SolveResult r = SolveEmptiness(ContradictionSystem(), all, capped);
+  EXPECT_FALSE(r.nonempty);
+
+  std::size_t amg_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    amg_files += entry.path().extension() == ".amg";
+  }
+  EXPECT_EQ(amg_files, 1u);
 }
 
 }  // namespace

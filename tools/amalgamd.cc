@@ -1,0 +1,247 @@
+// amalgamd — the long-lived JSONL front door over the concurrent query
+// service.
+//
+// Reads one request object per line from stdin, executes it against a
+// QueryService (shared graph cache, single-flight build coalescing,
+// optional disk tier), and writes one response object per line to stdout
+// *in request order*. Queries are submitted asynchronously — consecutive
+// query lines run concurrently on the worker pool and identical cold
+// queries coalesce onto one graph build — and a dedicated writer thread
+// prints (and flushes) each response the moment its future resolves, so
+// an interactive request/response client is never deadlocked waiting for
+// output that is gated on its own next input. Admin ops (stats, sweep,
+// drain, shutdown) act as ordering barriers: pending query responses are
+// flushed first, so an op's answer reflects everything before it.
+//
+//   printf '%s\n' \
+//     '{"id":1,"kind":"system","class":"all","system":"reach_red"}' \
+//     '{"id":2,"kind":"words","nfa":"aplus_bplus","system":"zigzag"}' \
+//     | amalgamd --workers=4
+//
+// EOF drains in-flight queries, flushes their responses and exits 0. See
+// src/service/protocol.h for the full request/response reference.
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace {
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workers=N] [--build-threads=N] [--cache-max-entries=N]\n"
+      "          [--store-dir=DIR] [--store-max-bytes=N] "
+      "[--store-max-files=N]\n"
+      "Reads JSONL requests from stdin, writes JSONL responses to stdout.\n",
+      argv0);
+}
+
+bool ParseUint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// Prints query responses in submission order, each the moment its future
+// resolves — from a dedicated thread, so a response never waits for the
+// main thread's next stdin read. Flush() is the admin-op barrier: it
+// returns once every pushed response has been written, after which the
+// writer is parked and the caller may print on stdout itself.
+class ResponseWriter {
+ public:
+  ResponseWriter() : thread_([this] { Loop(); }) {}
+
+  ~ResponseWriter() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+  void Push(amalgam::ProtocolRequest request,
+            std::future<amalgam::QueryResult> future) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.emplace_back(std::move(request), std::move(future));
+      ++enqueued_;
+    }
+    cv_.notify_one();
+  }
+
+  void Flush() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    written_cv_.wait(lock, [this] { return written_ == enqueued_; });
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      std::pair<amalgam::ProtocolRequest, std::future<amalgam::QueryResult>>
+          item;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+        if (pending_.empty()) return;  // stop_ and nothing left to write
+        item = std::move(pending_.front());
+        pending_.pop_front();
+      }
+      const std::string response =
+          amalgam::FormatQueryResponse(item.first, item.second.get());
+      std::printf("%s\n", response.c_str());
+      std::fflush(stdout);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++written_;
+      }
+      written_cv_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable written_cv_;
+  std::deque<std::pair<amalgam::ProtocolRequest,
+                       std::future<amalgam::QueryResult>>>
+      pending_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t written_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  amalgam::QueryService::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string flag = arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    std::uint64_t n = 0;
+    if (flag == "--workers" && ParseUint(value.c_str(), &n)) {
+      options.num_workers = static_cast<int>(n);
+    } else if (flag == "--build-threads" && ParseUint(value.c_str(), &n)) {
+      options.build_threads = static_cast<int>(n);
+    } else if (flag == "--cache-max-entries" && ParseUint(value.c_str(), &n)) {
+      options.cache_max_entries = static_cast<std::size_t>(n);
+    } else if (flag == "--store-dir" && !value.empty()) {
+      options.store_dir = value;
+    } else if (flag == "--store-max-bytes" && ParseUint(value.c_str(), &n)) {
+      options.store_max_bytes = n;
+    } else if (flag == "--store-max-files" && ParseUint(value.c_str(), &n)) {
+      options.store_max_files = n;
+    } else {
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+
+  amalgam::QueryService service(options);
+  // The one disk tier this process serves; a query naming a different one
+  // is refused — silently swapping the tier under concurrent queries would
+  // strand the trajectory the operator believes is being extended.
+  std::string attached_store_dir = options.store_dir;
+
+  {
+    ResponseWriter writer;
+    auto reply_now = [&](const amalgam::ProtocolRequest& request,
+                         const std::string& response) {
+      writer.Flush();  // keep responses in request order
+      std::printf("%s\n", response.c_str());
+      std::fflush(stdout);
+    };
+
+    std::string line;
+    bool shutdown_requested = false;
+    amalgam::ProtocolRequest shutdown_request;
+    while (!shutdown_requested && std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      amalgam::ProtocolRequest request = amalgam::ParseRequestLine(line);
+      if (!request.error.empty()) {
+        reply_now(request,
+                  amalgam::FormatErrorResponse(request, request.error));
+        continue;
+      }
+      switch (request.op) {
+        case amalgam::ProtocolRequest::Op::kQuery: {
+          if (!request.store_dir.empty()) {
+            if (attached_store_dir.empty()) {
+              try {
+                service.cache().AttachStore(request.store_dir);
+                attached_store_dir = request.store_dir;
+              } catch (const std::exception& e) {
+                reply_now(request,
+                          amalgam::FormatErrorResponse(request, e.what()));
+                continue;
+              }
+            } else if (request.store_dir != attached_store_dir) {
+              reply_now(request,
+                        amalgam::FormatErrorResponse(
+                            request, "store_dir mismatch: this service "
+                                     "persists to " +
+                                         attached_store_dir));
+              continue;
+            }
+          }
+          std::future<amalgam::QueryResult> future =
+              service.Submit(std::move(request.query));
+          writer.Push(std::move(request), std::move(future));
+          break;
+        }
+        case amalgam::ProtocolRequest::Op::kStats:
+          // The flush resolved every earlier future; Drain additionally
+          // waits for the workers to retire them, so `pending` reads 0
+          // rather than a timing-dependent remainder.
+          writer.Flush();
+          service.Drain();
+          reply_now(request,
+                    amalgam::FormatStatsResponse(request, service.Stats()));
+          break;
+        case amalgam::ProtocolRequest::Op::kSweep: {
+          writer.Flush();
+          const amalgam::StoreSweepResult swept =
+              service.SweepStore(request.max_bytes, request.max_files);
+          reply_now(request, amalgam::FormatSweepResponse(request, swept));
+          break;
+        }
+        case amalgam::ProtocolRequest::Op::kDrain:
+          writer.Flush();
+          service.Drain();
+          reply_now(request,
+                    amalgam::FormatDrainResponse(request, service.Stats()));
+          break;
+        case amalgam::ProtocolRequest::Op::kShutdown:
+          shutdown_requested = true;
+          shutdown_request = std::move(request);
+          break;
+      }
+    }
+
+    // EOF (or shutdown): every accepted query still gets its response.
+    writer.Flush();
+    service.Shutdown();
+    if (shutdown_requested) {
+      std::printf("%s\n", amalgam::FormatShutdownResponse(shutdown_request,
+                                                          service.Stats())
+                              .c_str());
+      std::fflush(stdout);
+    }
+  }  // joins the writer
+  return 0;
+}
