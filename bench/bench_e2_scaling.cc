@@ -17,6 +17,8 @@
 #include "service/service.h"
 #include "solver/cache.h"
 #include "solver/emptiness.h"
+#include "solver/graph.h"
+#include "solver/store.h"
 #include "system/zoo.h"
 
 namespace amalgam {
@@ -130,6 +132,8 @@ void BM_ParallelBuild(benchmark::State& state) {
   }
   state.counters["members"] =
       static_cast<double>(last.stats.members_enumerated);
+  state.counters["members_generated"] =
+      static_cast<double>(last.stats.members_generated);
   state.counters["edges"] = static_cast<double>(last.stats.edges);
 }
 BENCHMARK(BM_ParallelBuild)
@@ -137,6 +141,71 @@ BENCHMARK(BM_ParallelBuild)
     ->ArgNames({"threads"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Cold resume at a 25/50/75% cursor: a partial graph — the state an
+// early-exited query persists — is restored and finished with BuildFull.
+// The relational backend's native EnumerateGeneratedFrom seeks straight
+// to the cursor position in the set-partition × atom-mask grid, so the
+// resume generates only the unswept suffix; `members_generated` reports
+// exactly that suffix (the default adapter would report the full stream
+// at every cursor).
+void BM_ColdResume(benchmark::State& state) {
+  const int pct = static_cast<int>(state.range(0));
+  DdsSystem system = ChainSystem(64, 1);
+  AllStructuresClass cls(GraphZooSchema());
+  std::vector<FormulaRef> guards;
+  for (const TransitionRule& rule : system.rules()) {
+    guards.push_back(rule.guard);
+  }
+  const int k = system.num_registers();
+  std::uint64_t joint_total = 0;
+  cls.EnumerateGenerated(2 * k, [&](const Structure&, std::span<const Elem>) {
+    ++joint_total;
+  });
+  const std::uint64_t cutoff = joint_total * pct / 100;
+
+  // The suspended build: full initial sweep, joint sweep up to the cursor.
+  SubTransitionGraph partial(guards, k);
+  SolveStats partial_stats;
+  cls.EnumerateGeneratedFrom(
+      k, 0,
+      [&](const Structure& s, std::span<const Elem> marks, std::uint64_t pos) {
+        partial.AddInitialMember(s, marks);
+        partial.AdvanceCursorTo({kCursorPhaseInitial, pos + 1});
+        return true;
+      });
+  partial.AdvanceCursorTo({kCursorPhaseJoint, 0});
+  cls.EnumerateGeneratedFrom(
+      2 * k, 0,
+      [&](const Structure& s, std::span<const Elem> marks, std::uint64_t pos) {
+        if (pos >= cutoff) return false;
+        partial.ProcessJointMember(s, marks, partial_stats,
+                                   [](int, int, int, int) { return true; });
+        partial.AdvanceCursorTo({kCursorPhaseJoint, pos + 1});
+        return true;
+      });
+  const std::string bytes = SerializeGraph(partial, "bench-cold-resume");
+
+  SolveStats last;
+  for (auto _ : state) {
+    // Restore + finish: the cold-process resume path (the store's load is
+    // this deserialization plus a file read).
+    std::shared_ptr<SubTransitionGraph> graph = DeserializeGraph(
+        bytes, "bench-cold-resume", cls.schema(), guards, k);
+    SolveStats stats;
+    graph->BuildFull(cls, stats);
+    benchmark::DoNotOptimize(graph->num_edges());
+    last = stats;
+  }
+  state.counters["members_generated"] =
+      static_cast<double>(last.members_generated);
+  state.counters["members"] = static_cast<double>(last.members_enumerated);
+  state.counters["joint_stream"] = static_cast<double>(joint_total);
+}
+BENCHMARK(BM_ColdResume)
+    ->ArgsProduct({{25, 50, 75}})
+    ->ArgNames({"cursor_pct"})
+    ->Unit(benchmark::kMillisecond);
 
 // The query service end to end on the 64-state chain: a pool of
 // 1/4/8 workers serving batches of identical cache-hot queries (the first
@@ -173,6 +242,8 @@ void BM_ServiceThroughput(benchmark::State& state) {
   state.counters["queries"] = static_cast<double>(stats.queries);
   state.counters["coalesced"] = static_cast<double>(stats.coalesced_joins);
   state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.counters["members_generated"] =
+      static_cast<double>(stats.members_generated);
   state.SetItemsProcessed(state.iterations() * kQueriesPerBatch);
 }
 BENCHMARK(BM_ServiceThroughput)

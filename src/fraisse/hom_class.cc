@@ -117,9 +117,8 @@ void LiftedHomClass::EnumerateGeneratedUntil(int m,
           if (template_.Holds(r, colors)) atoms.push_back(Atom{r, tuple});
         });
       }
-      if (atoms.size() > 28) {
-        throw std::invalid_argument(
-            "lifted HOM enumeration candidate space too large");
+      if (atoms.size() > kDefaultRelationalAtomCap) {
+        throw EnumerationCapError(atoms.size(), kDefaultRelationalAtomCap);
       }
       Structure s(schema_, d);
       for (Elem e = 0; e < static_cast<Elem>(d); ++e) {

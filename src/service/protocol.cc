@@ -260,6 +260,8 @@ void ParseQuery(const JsonValue& json, ProtocolRequest& out) {
   query.build_witness = json.GetBool("build_witness", false);
   query.extra_pattern_cap =
       static_cast<int>(json.GetInt("extra_pattern_cap", 4));
+  query.atom_cap = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, json.GetInt("atom_cap", 0)));
   out.store_dir = json.GetString("store_dir");
 
   const JsonValue* system_field = json.Get("system");
@@ -433,11 +435,14 @@ ProtocolRequest ParseRequestLine(const std::string& line) {
 
 std::string FormatQueryResponse(const ProtocolRequest& request,
                                 const QueryResult& result) {
-  if (!result.ok) return FormatErrorResponse(request, result.error);
+  if (!result.ok) {
+    return FormatErrorResponse(request, result.error, result.error_code);
+  }
   std::string out = ResponseHead(request);
   AppendField(out, "ok", true);
   AppendField(out, "nonempty", result.nonempty);
   AppendField(out, "members", result.stats.members_enumerated);
+  AppendField(out, "members_generated", result.stats.members_generated);
   AppendField(out, "edges", result.stats.edges);
   AppendField(out, "configs", result.stats.configs);
   AppendField(out, "from_cache", result.stats.graph_from_cache);
@@ -463,6 +468,8 @@ std::string FormatStatsResponse(const ProtocolRequest& request,
   AppendField(out, "store_loads", stats.store_loads);
   AppendField(out, "store_load_failures", stats.store_load_failures);
   AppendField(out, "store_writes", stats.store_writes);
+  AppendField(out, "members_enumerated", stats.members_enumerated);
+  AppendField(out, "members_generated", stats.members_generated);
   AppendField(out, "p50_latency_ms", stats.p50_latency_ms);
   AppendField(out, "p95_latency_ms", stats.p95_latency_ms);
   return CloseObject(std::move(out));
@@ -506,10 +513,14 @@ std::string FormatShutdownResponse(const ProtocolRequest& request,
 }
 
 std::string FormatErrorResponse(const ProtocolRequest& request,
-                                const std::string& error) {
+                                const std::string& error,
+                                const std::string& code) {
   std::string out = ResponseHead(request);
   AppendField(out, "ok", false);
   out += "\"error\":\"" + JsonEscape(error) + "\",";
+  if (!code.empty()) {
+    out += "\"error_code\":\"" + JsonEscape(code) + "\",";
+  }
   return CloseObject(std::move(out));
 }
 

@@ -15,7 +15,10 @@
 //
 // Optional query fields: "strategy" ("onthefly"|"eager"), "num_threads"
 // (build threads for this query), "build_witness", "extra_pattern_cap"
-// (trees), "rounds"/"steps" (the parametrized zoo systems), "schema"
+// (trees), "atom_cap" (kind "system": relational enumeration cap; a query
+// whose candidate space exceeds it fails in-band with
+// "error_code":"enumeration_cap"), "rounds"/"steps" (the parametrized zoo
+// systems), "schema"
 // ({"relations":[["E",2],...],"functions":[...]}; kind "system" specs
 // only — word/tree schemas are implied by the automaton), "store_dir"
 // (attaches the service's disk tier; an error if a different tier is
@@ -67,8 +70,12 @@ std::string FormatDrainResponse(const ProtocolRequest& request,
                                 const ServiceStats& stats);
 std::string FormatShutdownResponse(const ProtocolRequest& request,
                                    const ServiceStats& stats);
+/// `code`, when non-empty, is emitted as a machine-readable "error_code"
+/// member next to the human-readable "error" (e.g. "enumeration_cap" when
+/// the relational candidate space exceeded the query's atom cap).
 std::string FormatErrorResponse(const ProtocolRequest& request,
-                                const std::string& error);
+                                const std::string& error,
+                                const std::string& code = "");
 
 }  // namespace amalgam
 

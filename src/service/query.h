@@ -56,6 +56,11 @@ struct QueryRequest {
   int num_threads = 0;
   /// Reconstruct a concrete witness (kSystem/kWord; costs extra work).
   bool build_witness = false;
+  /// kSystem only: cap on the relational enumerators' per-partition atom
+  /// count (SolveOptions::relational_atom_cap; 0 = backend default).
+  /// Exceeding it fails the query in-band with
+  /// QueryResult::error_code == EnumerationCapError::kCode.
+  std::uint32_t atom_cap = 0;
 };
 
 struct QueryResult {
@@ -64,6 +69,11 @@ struct QueryResult {
   /// future, so batch callers can collect every outcome uniformly).
   bool ok = false;
   std::string error;
+  /// Machine-readable error class ("" = none). Currently the only value is
+  /// EnumerationCapError::kCode ("enumeration_cap"): the candidate space
+  /// exceeded the atom cap — retry with a larger `atom_cap` or refine the
+  /// system.
+  std::string error_code;
 
   bool nonempty = false;
   SolveStats stats;
@@ -91,6 +101,13 @@ struct ServiceStats {
   std::uint64_t store_loads = 0;
   std::uint64_t store_load_failures = 0;
   std::uint64_t store_writes = 0;
+
+  // Backend enumeration totals over completed queries: members delivered
+  // to the guard sweep vs. members the backends materialized. The gap is
+  // the work native cursors saved (cache-resumed and sharded builds skip
+  // stream prefixes / foreign shards without regenerating them).
+  std::uint64_t members_enumerated = 0;
+  std::uint64_t members_generated = 0;
 
   // Latency distribution over a bounded window of the most recent
   // completions (0 when none completed).

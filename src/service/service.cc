@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "solver/backend.h"
 #include "solver/emptiness.h"
 #include "solver/store.h"
 #include "trees/run_class.h"
@@ -205,6 +206,7 @@ QueryResult QueryService::RunQuery(const QueryRequest& request) {
       options.strategy = request.strategy;
       options.cache = &cache_;
       options.num_threads = threads;
+      options.relational_atom_cap = request.atom_cap;
       SolveResult solved = SolveEmptiness(*request.system, *request.cls,
                                           options);
       result.nonempty = solved.nonempty;
@@ -255,6 +257,12 @@ void QueryService::Execute(Task& task) {
       const bool coalesced = result.coalesced;
       result = RunQuery(task.request);
       result.coalesced = coalesced;
+    } catch (const EnumerationCapError& e) {
+      // Structured: clients can distinguish "raise atom_cap and retry"
+      // from a malformed request without parsing the message text.
+      result.ok = false;
+      result.error = e.what();
+      result.error_code = EnumerationCapError::kCode;
     } catch (const std::exception& e) {
       result.ok = false;
       result.error = e.what();
@@ -292,6 +300,8 @@ void QueryService::Execute(Task& task) {
     }
     ++completed_;
     if (!result.ok) ++failed_;
+    members_enumerated_ += result.stats.members_enumerated;
+    members_generated_ += result.stats.members_generated;
   }
   task.promise.set_value(std::move(result));
 }
@@ -330,6 +340,8 @@ ServiceStats QueryService::Stats() const {
     stats.failed = failed_;
     stats.coalesced_joins = coalesced_joins_;
     stats.single_flight_leads = single_flight_leads_;
+    stats.members_enumerated = members_enumerated_;
+    stats.members_generated = members_generated_;
     samples = latency_samples_ms_;
   }
   {

@@ -177,6 +177,8 @@ class QueryService {
   std::uint64_t failed_ = 0;
   std::uint64_t coalesced_joins_ = 0;
   std::uint64_t single_flight_leads_ = 0;
+  std::uint64_t members_enumerated_ = 0;
+  std::uint64_t members_generated_ = 0;
   std::vector<double> latency_samples_ms_;  // ring, capped at kMaxLatencySamples
 
   std::vector<std::thread> workers_;

@@ -162,7 +162,8 @@ bool SubTransitionGraph::ProcessJointMember(const Structure& d,
 
 void SubTransitionGraph::SweepInitialMembers(const SolverBackend& backend,
                                              SolveStats& stats,
-                                             std::uint64_t max_shapes) {
+                                             std::uint64_t max_shapes,
+                                             std::uint32_t atom_cap) {
   backend.EnumerateGeneratedFrom(
       k_, cursor_.next_member,
       [&](const Structure& d, std::span<const Elem> marks,
@@ -175,20 +176,22 @@ void SubTransitionGraph::SweepInitialMembers(const SolverBackend& backend,
               "emptiness solver exceeded the configuration cap");
         }
         return true;
-      });
+      },
+      EnumControl{&stats.members_generated, atom_cap});
   cursor_ = BuildCursor{kCursorPhaseJoint, 0};
 }
 
 void SubTransitionGraph::BuildFull(const SolverBackend& backend,
                                    SolveStats& stats,
-                                   std::uint64_t max_shapes) {
+                                   std::uint64_t max_shapes,
+                                   std::uint32_t atom_cap) {
   if (complete()) return;
   // Report only this build's canonicalization savings: a graph resumed
   // from an in-process partial entry arrives with its suspended builder's
   // counter.
   const std::uint64_t raw_hits_before = interner_.raw_hits();
   if (cursor_.phase == kCursorPhaseInitial) {
-    SweepInitialMembers(backend, stats, max_shapes);
+    SweepInitialMembers(backend, stats, max_shapes, atom_cap);
   }
   backend.EnumerateGeneratedFrom(
       2 * k_, cursor_.next_member,
@@ -202,14 +205,16 @@ void SubTransitionGraph::BuildFull(const SolverBackend& backend,
               "emptiness solver exceeded the configuration cap");
         }
         return true;
-      });
+      },
+      EnumControl{&stats.members_generated, atom_cap});
   stats.raw_memo_hits = interner_.raw_hits() - raw_hits_before;
   cursor_ = BuildCursor{kCursorPhaseComplete, 0};
 }
 
 void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
                                            int n_threads, SolveStats& stats,
-                                           std::uint64_t max_shapes) {
+                                           std::uint64_t max_shapes,
+                                           std::uint32_t atom_cap) {
   if (complete()) return;
   const std::uint64_t raw_hits_before = interner_.raw_hits();
   const int num_workers = std::max(1, n_threads);
@@ -218,7 +223,7 @@ void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
   // of the 2k joint stream, so it stays on the calling thread and interns
   // straight into the shared graph (identical to BuildFull).
   if (cursor_.phase == kCursorPhaseInitial) {
-    SweepInitialMembers(backend, stats, max_shapes);
+    SweepInitialMembers(backend, stats, max_shapes, atom_cap);
   }
   // Members before this position were already processed by the suspended
   // build this graph resumes; their shapes and edges are present and the
@@ -290,7 +295,8 @@ void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
                   return true;
                 });
             return true;
-          });
+          },
+          EnumControl{&wk.stats.members_generated, atom_cap});
     } catch (...) {
       wk.error = std::current_exception();
     }
@@ -309,6 +315,7 @@ void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
   }
   for (const Worker& wk : workers) {
     stats.members_enumerated += wk.stats.members_enumerated;
+    stats.members_generated += wk.stats.members_generated;
     stats.guard_evaluations += wk.stats.guard_evaluations;
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <optional>
 #include <set>
 
 #include "util/enumerate.h"
@@ -251,8 +252,7 @@ bool TreeRunClass::Contains(const Structure& s) const {
   return p.has_value() && oracle_.PatternInClass(*p);
 }
 
-void TreeRunClass::EnumerateGeneratedUntil(int m,
-                                           const StopCallback& cb) const {
+void TreeRunClass::EnumeratePatterns(int m, const PatternSink& sink) const {
   const int q_count = automaton_->num_states();
   // Transitive child-reachability for pruning edge assignments.
   std::vector<std::vector<bool>> reach(q_count,
@@ -276,9 +276,13 @@ void TreeRunClass::EnumerateGeneratedUntil(int m,
             ? 0
             : 1 + *std::max_element(block_of.begin(), block_of.end());
     if (d == 0) {
-      Structure empty(schema_, 0);
+      std::optional<Structure> empty;
       std::vector<Elem> no_marks;
-      if (!cb(empty, no_marks)) go = false;
+      auto enc = [&]() -> const Structure& {
+        if (!empty) empty.emplace(schema_, 0);
+        return *empty;
+      };
+      if (!sink(enc, no_marks)) go = false;
       return;
     }
     const int cap = m + extra_cap_;
@@ -318,7 +322,7 @@ void TreeRunClass::EnumerateGeneratedUntil(int m,
             std::function<void(int)> flags = [&](int w) {
               if (!go) return;
               if (w == p.size()) {
-                if (!EmitWithMarks(p, block_of, d, cb)) go = false;
+                if (!EmitWithMarks(p, block_of, d, sink)) go = false;
                 return;
               }
               for (bool flag : valid[w]) {
@@ -361,7 +365,7 @@ void TreeRunClass::EnumerateGeneratedUntil(int m,
 
 bool TreeRunClass::EmitWithMarks(
     const TreePattern& p, const std::vector<int>& block_of, int d,
-    const StopCallback& cb) const {
+    const PatternSink& sink) const {
   // Generation: the closure of the marked nodes under cca and the intrinsic
   // pointers must cover the whole pattern. Try every injection of the d
   // mark blocks into the pattern nodes.
@@ -403,7 +407,14 @@ bool TreeRunClass::EmitWithMarks(
     return true;
   };
 
-  Structure encoded = PatternToStructure(p);
+  // Encoded lazily — the cursor entry points skip members without paying
+  // for the structure encoding — and cached across this pattern's mark
+  // placements, so a full sweep encodes once per pattern as before.
+  std::optional<Structure> encoded;
+  auto enc = [&]() -> const Structure& {
+    if (!encoded) encoded = PatternToStructure(p);
+    return *encoded;
+  };
   std::vector<int> slot_of_block(d);
   std::vector<bool> used(s, false);
   bool go = true;
@@ -415,7 +426,7 @@ bool TreeRunClass::EmitWithMarks(
       for (std::size_t i = 0; i < block_of.size(); ++i) {
         marks[i] = static_cast<Elem>(slot_of_block[block_of[i]]);
       }
-      if (!cb(encoded, marks)) go = false;
+      if (!sink(enc, marks)) go = false;
       return;
     }
     for (int v = 0; v < s && go; ++v) {
@@ -428,6 +439,42 @@ bool TreeRunClass::EmitWithMarks(
   };
   place(0);
   return go;
+}
+
+void TreeRunClass::EnumerateGeneratedUntil(int m,
+                                           const StopCallback& cb) const {
+  EnumeratePatterns(
+      m, [&](const std::function<const Structure&()>& enc,
+             const std::vector<Elem>& marks) { return cb(enc(), marks); });
+}
+
+void TreeRunClass::EnumerateGeneratedShard(int m, int n_shards, int shard,
+                                           const ShardCallback& cb,
+                                           const EnumControl& ctl) const {
+  std::uint64_t index = 0;
+  EnumeratePatterns(m, [&](const std::function<const Structure&()>& enc,
+                           const std::vector<Elem>& marks) {
+    const std::uint64_t here = index++;
+    if (here % static_cast<std::uint64_t>(n_shards) !=
+        static_cast<std::uint64_t>(shard)) {
+      return true;
+    }
+    if (ctl.generated != nullptr) ++*ctl.generated;
+    return cb(enc(), marks, here);
+  });
+}
+
+void TreeRunClass::EnumerateGeneratedFrom(int m, std::uint64_t start,
+                                          const ShardCallback& cb,
+                                          const EnumControl& ctl) const {
+  std::uint64_t index = 0;
+  EnumeratePatterns(m, [&](const std::function<const Structure&()>& enc,
+                           const std::vector<Elem>& marks) {
+    const std::uint64_t here = index++;
+    if (here < start) return true;
+    if (ctl.generated != nullptr) ++*ctl.generated;
+    return cb(enc(), marks, here);
+  });
 }
 
 }  // namespace amalgam

@@ -4,7 +4,9 @@
 #ifndef AMALGAM_TREES_RUN_CLASS_H_
 #define AMALGAM_TREES_RUN_CLASS_H_
 
+#include <functional>
 #include <optional>
+#include <vector>
 
 #include "fraisse/fraisse_class.h"
 #include "trees/pattern.h"
@@ -36,6 +38,21 @@ class TreeRunClass : public FraisseClass {
     return static_cast<std::uint64_t>(n) + extra_cap_;
   }
   void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;
+  /// Positioned cursors: positions are determined by the candidate walk
+  /// (shapes × states × flags × mark placements, filtered by realizability
+  /// and closure), so the cursors cannot seek past it — but the structure
+  /// encoding (PatternToStructure, the dominant per-member cost: quadratic
+  /// relations plus all pointer-function tables) is built lazily, only for
+  /// members the cursor actually delivers.
+  CursorSupport cursor_support() const override {
+    return {.native_shard = true, .native_from = true};
+  }
+  void EnumerateGeneratedShard(int m, int n_shards, int shard,
+                               const ShardCallback& cb,
+                               const EnumControl& ctl = {}) const override;
+  void EnumerateGeneratedFrom(int m, std::uint64_t start,
+                              const ShardCallback& cb,
+                              const EnumControl& ctl = {}) const override;
   /// Not supported (tree witnesses come from trees/solve.h's bounded
   /// search); returns nullopt.
   std::optional<AmalgamResult> Amalgamate(
@@ -54,9 +71,19 @@ class TreeRunClass : public FraisseClass {
       const Structure& s, std::vector<Elem>* order_out = nullptr) const;
 
  private:
-  /// Returns false when `cb` requested a stop.
+  /// The enumeration sink: receives each member as a materializer (encodes
+  /// the pattern on first call, cached across the pattern's mark
+  /// placements) plus the marks. Returns false to stop.
+  using PatternSink = std::function<bool(
+      const std::function<const Structure&()>&, const std::vector<Elem>&)>;
+
+  /// The shared enumeration core: walks the candidate space and hands
+  /// every member to `sink` without eagerly encoding it as a structure.
+  void EnumeratePatterns(int m, const PatternSink& sink) const;
+
+  /// Returns false when `sink` requested a stop.
   bool EmitWithMarks(const TreePattern& p, const std::vector<int>& block_of,
-                     int d, const StopCallback& cb) const;
+                     int d, const PatternSink& sink) const;
 
   const TreeAutomaton* automaton_;
   TreePatternOracle oracle_;

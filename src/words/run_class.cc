@@ -199,8 +199,10 @@ bool WordRunClass::Contains(const Structure& s) const {
   return p.has_value() && PatternInClass(*p);
 }
 
-void WordRunClass::EnumerateGeneratedUntil(int m,
-                                           const StopCallback& cb) const {
+void WordRunClass::EnumeratePatterns(
+    int m,
+    const std::function<bool(const WordPattern&, const std::vector<Elem>&)>&
+        sink) const {
   const int max_extra = 2 * num_components_;
   bool go = true;
   ForEachSetPartition(m, [&](const std::vector<int>& block_of) {
@@ -211,9 +213,9 @@ void WordRunClass::EnumerateGeneratedUntil(int m,
             : 1 + *std::max_element(block_of.begin(), block_of.end());
     if (d == 0) {
       // Empty pattern, generated by the empty tuple.
-      Structure empty(schema_, 0);
+      WordPattern empty;
       std::vector<Elem> no_marks;
-      if (!cb(empty, no_marks)) go = false;
+      if (!sink(empty, no_marks)) go = false;
       return;
     }
     for (int s = d; s <= d + max_extra && go; ++s) {
@@ -254,12 +256,11 @@ void WordRunClass::EnumerateGeneratedUntil(int m,
           if (!in_closure[i]) return;
         }
         if (!PatternInClass(p)) return;
-        Structure structure = PatternToStructure(p);
         std::vector<Elem> marks(m);
         for (int i = 0; i < m; ++i) {
           marks[i] = static_cast<Elem>(slot_of_block[block_of[i]]);
         }
-        if (!cb(structure, marks)) go = false;
+        if (!sink(p, marks)) go = false;
       };
 
       std::function<void(int)> assign_states = [&](int i) {
@@ -291,6 +292,47 @@ void WordRunClass::EnumerateGeneratedUntil(int m,
       };
       place_blocks(0);
     }
+  });
+}
+
+void WordRunClass::EnumerateGeneratedUntil(int m,
+                                           const StopCallback& cb) const {
+  EnumeratePatterns(m, [&](const WordPattern& p,
+                           const std::vector<Elem>& marks) {
+    return cb(PatternToStructure(p), marks);
+  });
+}
+
+// The positioned cursors below walk the same candidate space as the full
+// stream (positions are filter-determined, so there is no seeking past
+// it), but encode only in-range members as structures — the per-member
+// materialization cost, which EnumControl::generated counts.
+void WordRunClass::EnumerateGeneratedShard(int m, int n_shards, int shard,
+                                           const ShardCallback& cb,
+                                           const EnumControl& ctl) const {
+  std::uint64_t index = 0;
+  EnumeratePatterns(m, [&](const WordPattern& p,
+                           const std::vector<Elem>& marks) {
+    const std::uint64_t here = index++;
+    if (here % static_cast<std::uint64_t>(n_shards) !=
+        static_cast<std::uint64_t>(shard)) {
+      return true;
+    }
+    if (ctl.generated != nullptr) ++*ctl.generated;
+    return cb(PatternToStructure(p), marks, here);
+  });
+}
+
+void WordRunClass::EnumerateGeneratedFrom(int m, std::uint64_t start,
+                                          const ShardCallback& cb,
+                                          const EnumControl& ctl) const {
+  std::uint64_t index = 0;
+  EnumeratePatterns(m, [&](const WordPattern& p,
+                           const std::vector<Elem>& marks) {
+    const std::uint64_t here = index++;
+    if (here < start) return true;
+    if (ctl.generated != nullptr) ++*ctl.generated;
+    return cb(PatternToStructure(p), marks, here);
   });
 }
 

@@ -57,6 +57,21 @@ class WordRunClass : public FraisseClass {
     return n + 2ULL * num_components_;
   }
   void EnumerateGeneratedUntil(int m, const StopCallback& cb) const override;
+  /// Positioned cursors: the run-pattern candidate walk (slot placement +
+  /// state assignment + membership filter) determines positions, so the
+  /// cursors cannot seek past it — but they materialize the structure
+  /// encoding (PatternToStructure, the per-member allocation cost) only
+  /// for members actually delivered, which is what EnumControl::generated
+  /// counts.
+  CursorSupport cursor_support() const override {
+    return {.native_shard = true, .native_from = true};
+  }
+  void EnumerateGeneratedShard(int m, int n_shards, int shard,
+                               const ShardCallback& cb,
+                               const EnumControl& ctl = {}) const override;
+  void EnumerateGeneratedFrom(int m, std::uint64_t start,
+                              const ShardCallback& cb,
+                              const EnumControl& ctl = {}) const override;
   /// Merges the two patterns (brute-force over interleavings, validated by
   /// membership + pointer-consistent embeddings) and completes the result
   /// to a full accepting run, so that the accumulated witness projects to a
@@ -99,6 +114,16 @@ class WordRunClass : public FraisseClass {
 
  private:
   bool GapRealizable(const WordPattern& p, int gap) const;
+
+  /// The shared enumeration core: walks the candidate space (set
+  /// partitions of the marks × slot placements × state assignments), runs
+  /// the closure + membership filters, and hands every member to `sink` as
+  /// a pattern + marks — without encoding it as a structure. `sink`
+  /// returns false to stop.
+  void EnumeratePatterns(
+      int m,
+      const std::function<bool(const WordPattern&, const std::vector<Elem>&)>&
+          sink) const;
 
   Nfa nfa_;
   std::vector<int> comp_;
