@@ -4,16 +4,24 @@
 // atomic diagrams over 2k marks).
 #include <benchmark/benchmark.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <future>
 #include <memory>
 
 #include "fraisse/relational.h"
+#include "net/server.h"
 #include "service/service.h"
 #include "solver/cache.h"
 #include "solver/emptiness.h"
@@ -249,6 +257,111 @@ void BM_ServiceThroughput(benchmark::State& state) {
 BENCHMARK(BM_ServiceThroughput)
     ->ArgsProduct({{1, 4, 8}})
     ->ArgNames({"workers"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The chain-n system as one spec-described JSONL query line (eager, so
+// the warmup builds the complete graph and every measured query is a
+// cache-hot replay) — what a real amalgamd client would pipe in.
+std::string ChainQueryLine(int n) {
+  std::string states = R"json([{"name":"s0","initial":true})json";
+  for (int i = 1; i < n; ++i) {
+    states += R"json(,{"name":"s)json" + std::to_string(i) + "\"";
+    if (i == n - 1) states += R"json(,"accepting":true)json";
+    states += "}";
+  }
+  states += "]";
+  std::string rules = "[";
+  for (int i = 1; i < n; ++i) {
+    if (i > 1) rules += ",";
+    rules += R"json({"from":"s)json" + std::to_string(i - 1) +
+             R"json(","to":"s)json" + std::to_string(i) +
+             R"json(","guard":"E(x0_old, x0_new)"})json";
+  }
+  rules += "]";
+  return R"json({"id":1,"kind":"system","class":"all","strategy":"eager",)json"
+         R"json("schema":{"relations":[["E",2],["red",1]]},)json"
+         R"json("system":{"registers":["x0"],"states":)json" +
+         states + R"json(,"rules":)json" + rules + "}}";
+}
+
+// The daemon end to end over a Unix-socket loopback: N concurrent clients
+// each pipeline a 32-query burst (the chain-64 spec above, cache-hot
+// after warmup) and read their 32 ordered responses back. Measures the
+// full transport stack — epoll event loop, line framing, per-connection
+// session writers, socket syscalls — on top of BM_ServiceThroughput's
+// broker overhead.
+void BM_DaemonThroughput(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kQueriesPerBatch = 32;
+
+  QueryService::Options options;
+  options.num_workers = 4;
+  QueryService service(options);
+  DaemonServerOptions net;
+  net.uds_path = (std::filesystem::temp_directory_path() /
+                  ("amalgam_bench_" + std::to_string(::getpid()) + ".sock"))
+                     .string();
+  DaemonServer server(service, net);
+  server.Start();
+
+  std::string burst;
+  for (int i = 0; i < kQueriesPerBatch; ++i) burst += ChainQueryLine(64) + "\n";
+
+  auto connect_client = [&net] {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, net.uds_path.c_str(), net.uds_path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      std::perror("bench connect");
+      std::abort();
+    }
+    return fd;
+  };
+  auto run_batch = [&burst](int fd) {
+    std::size_t sent = 0;
+    while (sent < burst.size()) {
+      const ssize_t n = ::send(fd, burst.data() + sent, burst.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return;
+      sent += static_cast<std::size_t>(n);
+    }
+    int newlines = 0;
+    char buf[4096];
+    while (newlines < kQueriesPerBatch) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) return;
+      for (ssize_t i = 0; i < n; ++i) newlines += buf[i] == '\n';
+    }
+  };
+
+  std::vector<int> fds;
+  fds.reserve(clients);
+  for (int c = 0; c < clients; ++c) fds.push_back(connect_client());
+  run_batch(fds[0]);  // warm: the one eager build
+
+  for (auto _ : state) {
+    std::vector<std::thread> pumps;
+    pumps.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      pumps.emplace_back([&run_batch, fd = fds[c]] { run_batch(fd); });
+    }
+    for (auto& pump : pumps) pump.join();
+  }
+
+  const ServiceStats stats = service.Stats();
+  state.counters["queries"] = static_cast<double>(stats.queries);
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.SetItemsProcessed(state.iterations() * clients * kQueriesPerBatch);
+
+  for (int fd : fds) ::close(fd);
+  server.Stop();
+  service.Shutdown();
+}
+BENCHMARK(BM_DaemonThroughput)
+    ->ArgsProduct({{1, 4, 8}})
+    ->ArgNames({"clients"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

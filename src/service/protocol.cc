@@ -461,6 +461,8 @@ std::string FormatStatsResponse(const ProtocolRequest& request,
   AppendField(out, "failed", stats.failed);
   AppendField(out, "coalesced_joins", stats.coalesced_joins);
   AppendField(out, "single_flight_leads", stats.single_flight_leads);
+  AppendField(out, "resume_leads", stats.resume_leads);
+  AppendField(out, "resume_coalesced", stats.resume_coalesced);
   AppendField(out, "pending", stats.pending);
   AppendField(out, "cache_hits", stats.cache_hits);
   AppendField(out, "cache_misses", stats.cache_misses);
@@ -472,6 +474,14 @@ std::string FormatStatsResponse(const ProtocolRequest& request,
   AppendField(out, "members_generated", stats.members_generated);
   AppendField(out, "p50_latency_ms", stats.p50_latency_ms);
   AppendField(out, "p95_latency_ms", stats.p95_latency_ms);
+  // Transport-level counters (zero outside a daemon session): the daemon's
+  // connection totals plus the connection the stats op arrived on.
+  AppendField(out, "connections_open", stats.connections_open);
+  AppendField(out, "connections_opened", stats.connections_opened);
+  AppendField(out, "overload_rejections", stats.overload_rejections);
+  AppendField(out, "conn_id", stats.conn_id);
+  AppendField(out, "conn_requests", stats.conn_requests);
+  AppendField(out, "conn_rejected_overload", stats.conn_rejected_overload);
   return CloseObject(std::move(out));
 }
 

@@ -92,6 +92,8 @@ struct ServiceStats {
   std::uint64_t failed = 0;              // completed with an error
   std::uint64_t coalesced_joins = 0;     // waited on another query's build
   std::uint64_t single_flight_leads = 0; // owned a single-flight build
+  std::uint64_t resume_leads = 0;        // owned a partial-entry extension
+  std::uint64_t resume_coalesced = 0;    // waited on another query's resume
   std::uint64_t pending = 0;             // accepted, not yet finished
 
   // Snapshot of the shared GraphCache's tiered counters.
@@ -113,6 +115,16 @@ struct ServiceStats {
   // completions (0 when none completed).
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+
+  // Transport-level counters, filled in by the session/daemon layer
+  // (Session::SnapshotStats) before a stats response is formatted; all
+  // zero when the service is used directly.
+  std::uint64_t connections_open = 0;     // currently connected clients
+  std::uint64_t connections_opened = 0;   // accepted since startup
+  std::uint64_t overload_rejections = 0;  // requests refused, all clients
+  std::uint64_t conn_id = 0;              // the asking connection
+  std::uint64_t conn_requests = 0;        // lines it has sent
+  std::uint64_t conn_rejected_overload = 0;  // its refused requests
 };
 
 }  // namespace amalgam

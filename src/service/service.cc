@@ -83,7 +83,10 @@ QueryService::QueryService(Options options)
     : options_(std::move(options)), cache_(options_.cache_max_entries) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.build_threads < 1) options_.build_threads = 1;
-  if (!options_.store_dir.empty()) cache_.AttachStore(options_.store_dir);
+  if (!options_.store_dir.empty()) {
+    cache_.AttachStore(options_.store_dir);
+    attached_store_dir_ = options_.store_dir;
+  }
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -102,25 +105,40 @@ void QueryService::ComputeTaskKey(Task& task) {
 
 void QueryService::RegisterFlight(Task& task) {
   if (!task.setup_error.empty()) return;
-  // Anything already cached — complete or partial — serves without a cold
-  // build; skip the flight table so hot keys never serialize.
-  if (cache_.Peek(task.graph_key) != nullptr) {
+  // A complete cached graph serves the query with zero build work: run it
+  // directly, off the flight table, so hot complete keys never serialize.
+  // A *partial* entry goes through the table as a resume flight — without
+  // one, N concurrent queries over a warm-but-partial key would each copy
+  // the entry and duplicate the same suffix sweep (the progress-guarded
+  // insert keeps only the furthest, so all but one copy is wasted work).
+  const std::shared_ptr<const SubTransitionGraph> cached =
+      cache_.Peek(task.graph_key);
+  if (cached != nullptr && cached->complete()) {
     task.role = Role::kDirect;
     return;
   }
+  task.resume = cached != nullptr;
   std::lock_guard<std::mutex> flock(flights_mutex_);
   auto it = flights_.find(task.graph_key);
   if (it != flights_.end()) {
     task.role = Role::kJoiner;
     task.join_on = it->second.done;
     std::lock_guard<std::mutex> slock(stats_mutex_);
-    ++coalesced_joins_;
+    if (task.resume) {
+      ++resume_coalesced_;
+    } else {
+      ++coalesced_joins_;
+    }
   } else {
     task.role = Role::kLeader;
     task.lead_done = std::make_shared<std::promise<void>>();
     flights_.emplace(task.graph_key, Flight{task.lead_done->get_future()});
     std::lock_guard<std::mutex> slock(stats_mutex_);
-    ++single_flight_leads_;
+    if (task.resume) {
+      ++resume_leads_;
+    } else {
+      ++single_flight_leads_;
+    }
   }
 }
 
@@ -331,6 +349,24 @@ StoreSweepResult QueryService::SweepStore(std::uint64_t max_bytes,
   return cache_.SweepStore(max_bytes, max_files);
 }
 
+std::string QueryService::TryAttachStore(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(store_attach_mutex_);
+  if (attached_store_dir_.empty()) {
+    try {
+      cache_.AttachStore(dir);
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+    attached_store_dir_ = dir;
+    return "";
+  }
+  if (dir != attached_store_dir_) {
+    return "store_dir mismatch: this service persists to " +
+           attached_store_dir_;
+  }
+  return "";
+}
+
 ServiceStats QueryService::Stats() const {
   ServiceStats stats;
   std::vector<double> samples;
@@ -340,6 +376,8 @@ ServiceStats QueryService::Stats() const {
     stats.failed = failed_;
     stats.coalesced_joins = coalesced_joins_;
     stats.single_flight_leads = single_flight_leads_;
+    stats.resume_leads = resume_leads_;
+    stats.resume_coalesced = resume_coalesced_;
     stats.members_enumerated = members_enumerated_;
     stats.members_generated = members_generated_;
     samples = latency_samples_ms_;

@@ -18,7 +18,14 @@
 //     leader's per-key flight future and then run pure BFS replay over the
 //     cached graph. Registration happens at submit time, and SubmitBatch
 //     registers the whole batch before any worker starts, so a batch of N
-//     identical cold queries deterministically performs exactly one build.
+//     identical cold queries deterministically performs exactly one build;
+//   * the same table carries *resume* flights: when the cached entry for a
+//     key is partial (an earlier on-the-fly query early-exited), at most
+//     one query extends it — concurrent queries over the warm-but-partial
+//     key wait on the extender's flight and then replay, so a hot partial
+//     key performs exactly one suffix build instead of N duplicated ones.
+//     Only a *complete* cached entry skips the table entirely (replay
+//     needs no build work, so those queries never serialize).
 //
 // Verdict equivalence with the synchronous front doors is structural: a
 // query is executed by calling the very same front door with the shared
@@ -101,6 +108,13 @@ class QueryService {
 
   /// The shared cache (for tests and admin paths; thread-safe itself).
   GraphCache& cache() { return cache_; }
+  /// Attaches the disk tier at `dir` if the service has none yet (a
+  /// constructor-supplied store_dir counts). Returns "" on success — which
+  /// includes re-naming the already-attached directory — and an error
+  /// message otherwise: silently swapping the tier under concurrent
+  /// queries would strand the trajectory the operator believes is being
+  /// extended, so a second, different directory is refused.
+  std::string TryAttachStore(const std::string& dir);
   /// Sweeps the attached disk tier (no-op without one); the admin
   /// counterpart of the automatic post-query sweep.
   StoreSweepResult SweepStore(std::uint64_t max_bytes,
@@ -114,13 +128,14 @@ class QueryService {
   };
 
   enum class Role {
-    // A graph (complete or partial) is already cached for the key: run
-    // directly — replay needs no build, and concurrent *resumes* of one
-    // partial entry merely duplicate suffix work (the progress-guarded
-    // insert keeps the furthest), which beats serializing the hot path
-    // through the flight table.
+    // A *complete* graph is cached for the key: run directly, off the
+    // flight table — replay needs no build work, so hot complete keys
+    // never serialize.
     kDirect,
-    kLeader,  // nothing cached: owns the cold build for its key
+    // Owns the build for its key: the cold build when nothing is cached,
+    // or the suffix extension when the cached entry is partial (Task::
+    // resume distinguishes the two for the stats counters).
+    kLeader,
     kJoiner,  // waits for the leader, then replays
   };
 
@@ -128,6 +143,10 @@ class QueryService {
     QueryRequest request;
     std::promise<QueryResult> promise;
     Role role = Role::kDirect;
+    // The flight extends a cached partial entry rather than building cold
+    // (counts toward resume_leads/resume_coalesced instead of the cold
+    // single-flight counters).
+    bool resume = false;
     std::string graph_key;                  // empty when key computation failed
     std::shared_ptr<std::promise<void>> lead_done;  // kLeader
     std::shared_future<void> join_on;               // kJoiner
@@ -172,11 +191,17 @@ class QueryService {
   // pays ever-larger copies on the stats path.
   static constexpr std::size_t kMaxLatencySamples = 4096;
 
+  // Guards the one-directory-per-service disk-tier attachment.
+  std::mutex store_attach_mutex_;
+  std::string attached_store_dir_;
+
   mutable std::mutex stats_mutex_;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t coalesced_joins_ = 0;
   std::uint64_t single_flight_leads_ = 0;
+  std::uint64_t resume_leads_ = 0;
+  std::uint64_t resume_coalesced_ = 0;
   std::uint64_t members_enumerated_ = 0;
   std::uint64_t members_generated_ = 0;
   std::vector<double> latency_samples_ms_;  // ring, capped at kMaxLatencySamples

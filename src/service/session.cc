@@ -1,0 +1,180 @@
+#include "service/session.h"
+
+#include <future>
+#include <string>
+#include <utility>
+
+#include "service/protocol.h"
+
+namespace amalgam {
+
+Session::Session(QueryService& service, Options options, Emit emit,
+                 ConnectionCounters* counters)
+    : service_(service),
+      options_(options),
+      emit_(std::move(emit)),
+      counters_(counters),
+      writer_([this] { WriterLoop(); }) {}
+
+Session::~Session() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_one();
+  writer_.join();  // drains the queue: every accepted line gets its line out
+}
+
+void Session::WriterLoop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and nothing left to emit
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Rendering may block (a query future, an admin drain); the emitted
+    // line lands with the transport in request order because this loop is
+    // the only consumer of the FIFO.
+    emit_(item.render());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++written_;
+      if (item.is_query) --inflight_;
+    }
+    written_cv_.notify_all();
+  }
+}
+
+void Session::Push(Item item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++enqueued_;
+    if (item.is_query) ++inflight_;
+    queue_.push_back(std::move(item));
+  }
+  queue_cv_.notify_one();
+}
+
+void Session::PushRendered(std::string line) {
+  Push(Item{[line = std::move(line)] { return line; }, /*is_query=*/false});
+}
+
+ServiceStats Session::SnapshotStats() const {
+  ServiceStats stats = service_.Stats();
+  stats.conn_id = options_.id;
+  stats.conn_requests = requests();
+  stats.conn_rejected_overload = rejected_overload();
+  if (counters_ != nullptr) {
+    stats.connections_open = counters_->open.load(std::memory_order_relaxed);
+    stats.connections_opened =
+        counters_->opened.load(std::memory_order_relaxed);
+    stats.overload_rejections =
+        counters_->overload_rejections.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+Session::LineOutcome Session::HandleLine(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ProtocolRequest request = ParseRequestLine(line);
+  if (!request.error.empty()) {
+    PushRendered(FormatErrorResponse(request, request.error));
+    return LineOutcome::kContinue;
+  }
+  switch (request.op) {
+    case ProtocolRequest::Op::kQuery: {
+      if (!request.store_dir.empty()) {
+        const std::string error = service_.TryAttachStore(request.store_dir);
+        if (!error.empty()) {
+          PushRendered(FormatErrorResponse(request, error));
+          return LineOutcome::kContinue;
+        }
+      }
+      if (options_.max_inflight > 0 && inflight() >= options_.max_inflight) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (counters_ != nullptr) {
+          counters_->overload_rejections.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        }
+        PushRendered(FormatErrorResponse(
+            request,
+            "per-connection inflight cap (" +
+                std::to_string(options_.max_inflight) +
+                ") reached; read pending responses before sending more",
+            "overloaded"));
+        return LineOutcome::kContinue;
+      }
+      std::shared_future<QueryResult> future;
+      try {
+        future = service_.Submit(std::move(request.query)).share();
+      } catch (const std::exception& e) {
+        PushRendered(FormatErrorResponse(request, e.what()));
+        return LineOutcome::kContinue;
+      }
+      // `request` keeps its id for the echo; the query inputs moved into
+      // the service.
+      Push(Item{[request = std::move(request), future] {
+                  return FormatQueryResponse(request, future.get());
+                },
+                /*is_query=*/true});
+      return LineOutcome::kContinue;
+    }
+    case ProtocolRequest::Op::kStats:
+      // Drain so the answer reflects everything accepted before it —
+      // queued earlier responses were emitted first (FIFO), and `pending`
+      // reads the live remainder rather than a timing artifact.
+      Push(Item{[this, request = std::move(request)] {
+        service_.Drain();
+        return FormatStatsResponse(request, SnapshotStats());
+      }});
+      return LineOutcome::kContinue;
+    case ProtocolRequest::Op::kSweep:
+      Push(Item{[this, request = std::move(request)] {
+        return FormatSweepResponse(
+            request, service_.SweepStore(request.max_bytes,
+                                         request.max_files));
+      }});
+      return LineOutcome::kContinue;
+    case ProtocolRequest::Op::kDrain:
+      Push(Item{[this, request = std::move(request)] {
+        service_.Drain();
+        return FormatDrainResponse(request, SnapshotStats());
+      }});
+      return LineOutcome::kContinue;
+    case ProtocolRequest::Op::kShutdown:
+      Push(Item{[this, request = std::move(request)] {
+        service_.Drain();
+        return FormatShutdownResponse(request, SnapshotStats());
+      }});
+      return LineOutcome::kShutdown;
+  }
+  return LineOutcome::kContinue;
+}
+
+void Session::HandleOversizedLine() {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ProtocolRequest request;  // no parsable id inside an oversized line
+  PushRendered(FormatErrorResponse(
+      request, "request line exceeds the maximum line length",
+      "line_too_long"));
+}
+
+void Session::Flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  written_cv_.wait(lock, [this] { return written_ == enqueued_; });
+}
+
+bool Session::FlushedAll() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_ == enqueued_;
+}
+
+int Session::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_;
+}
+
+}  // namespace amalgam

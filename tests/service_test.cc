@@ -18,6 +18,7 @@
 #include "service/json.h"
 #include "service/protocol.h"
 #include "service/service.h"
+#include "service/session.h"
 #include "solver/emptiness.h"
 #include "system/zoo.h"
 #include "trees/solve.h"
@@ -89,6 +90,203 @@ TEST(ServiceTest, SingleFlightColdBatchBuildsExactlyOnce) {
   EXPECT_EQ(stats.cache_hits, 7u);
   EXPECT_EQ(stats.pending, 0u);
   EXPECT_GE(stats.p95_latency_ms, stats.p50_latency_ms);
+}
+
+// Two systems that share a graph cache key — same schema, register count
+// and guard set ("red(x_new)") — but differ in whether the target state
+// accepts. The accepting variant early-exits its on-the-fly sweep the
+// moment a red member appears, leaving a *partial* graph in the cache;
+// the non-accepting variant can only answer "empty" after the full sweep,
+// so running it against the warm-but-partial key forces a resume.
+DdsSystem RedProbeSystem(bool accepting) {
+  DdsSystem system(GraphZooSchema());
+  system.AddRegister("x");
+  const int s = system.AddState("s", /*initial=*/true);
+  const int t = system.AddState("t", /*initial=*/false, accepting);
+  system.AddRule(s, t, "red(x_new)");
+  return system;
+}
+
+QueryRequest RedProbeRequest(bool accepting,
+                             const std::shared_ptr<AllStructuresClass>& cls) {
+  QueryRequest request;
+  request.kind = QueryKind::kSystem;
+  request.system = std::make_shared<DdsSystem>(RedProbeSystem(accepting));
+  request.cls = cls;
+  return request;
+}
+
+TEST(ServiceTest, PartialEntryResumeCoalescesOntoOneSuffixBuild) {
+  // The resume-flight regression (the gap PR-5 documented): N concurrent
+  // queries over one warm-but-partial cache entry must perform exactly
+  // one suffix build — a resume leader extends the entry, the rest wait
+  // on its flight and replay — instead of N duplicated extension sweeps.
+  QueryService::Options options;
+  options.num_workers = 8;
+  QueryService service(options);
+  auto cls = std::make_shared<AllStructuresClass>(GraphZooSchema());
+
+  // Seed: the accepting probe early-exits, caching a partial graph.
+  QueryResult seeded = service.Submit(RedProbeRequest(true, cls)).get();
+  ASSERT_TRUE(seeded.ok) << seeded.error;
+  ASSERT_TRUE(seeded.nonempty);
+
+  const DdsSystem probe = RedProbeSystem(false);
+  std::vector<FormulaRef> guards;
+  for (const TransitionRule& rule : probe.rules()) guards.push_back(rule.guard);
+  const std::string key = GraphCache::Key(*cls, 1, guards);
+  std::shared_ptr<const SubTransitionGraph> cached = service.cache().Peek(key);
+  ASSERT_NE(cached, nullptr);
+  ASSERT_FALSE(cached->complete())
+      << "the accepting seed must leave a partial entry for the key";
+
+  // Eight concurrent queries whose verdict needs the rest of the class.
+  std::vector<std::future<QueryResult>> futures = service.SubmitBatch(
+      std::vector<QueryRequest>(8, RedProbeRequest(false, cls)));
+  int extenders = 0;
+  for (auto& future : futures) {
+    QueryResult result = future.get();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_FALSE(result.nonempty) << "no accepting state is reachable";
+    if (result.stats.members_enumerated > 0) ++extenders;
+  }
+  EXPECT_EQ(extenders, 1) << "exactly one query may run the suffix sweep";
+
+  service.Drain();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.resume_leads, 1u);
+  EXPECT_EQ(stats.resume_coalesced, 7u);
+  EXPECT_EQ(stats.single_flight_leads, 1u) << "only the cold seed build";
+  EXPECT_EQ(stats.coalesced_joins, 0u);
+
+  // The flight completed the graph: later queries run direct, off the
+  // flight table, and enumerate nothing.
+  cached = service.cache().Peek(key);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_TRUE(cached->complete());
+  QueryResult direct = service.Submit(RedProbeRequest(false, cls)).get();
+  ASSERT_TRUE(direct.ok) << direct.error;
+  EXPECT_EQ(direct.stats.members_enumerated, 0u);
+  service.Drain();
+  EXPECT_EQ(service.Stats().resume_leads, 1u)
+      << "a complete entry must skip the flight table";
+}
+
+TEST(ServiceTest, TryAttachStoreRefusesASecondDirectory) {
+  const std::string first = ServiceStoreDir("attach_first");
+  const std::string second = ServiceStoreDir("attach_second");
+  {
+    QueryService service;
+    EXPECT_EQ(service.TryAttachStore(first), "");
+    EXPECT_EQ(service.TryAttachStore(first), "") << "re-naming the attached "
+                                                    "directory is fine";
+    const std::string error = service.TryAttachStore(second);
+    EXPECT_NE(error.find("store_dir mismatch"), std::string::npos) << error;
+  }
+  {
+    // A constructor-supplied store_dir counts as the attached tier.
+    QueryService::Options options;
+    options.store_dir = first;
+    QueryService service(options);
+    EXPECT_EQ(service.TryAttachStore(first), "");
+    EXPECT_FALSE(service.TryAttachStore(second).empty());
+  }
+}
+
+// ---- The Session layer (the per-client half of amalgamd). ----
+
+TEST(ServiceTest, SessionEmitsResponsesInRequestOrder) {
+  QueryService::Options options;
+  options.num_workers = 4;
+  QueryService service(options);
+
+  std::mutex lines_mutex;
+  std::vector<std::string> lines;
+  {
+    Session::Options sopts;
+    sopts.id = 42;
+    Session session(service, sopts, [&](const std::string& line) {
+      std::lock_guard<std::mutex> lock(lines_mutex);
+      lines.push_back(line);
+    });
+    session.HandleLine(
+        R"({"id":1,"kind":"system","class":"all","system":"reach_red"})");
+    session.HandleLine(R"({"id":2,"kind":"nope"})");  // in-band error
+    session.HandleLine(
+        R"({"id":3,"kind":"words","nfa":"aplus_bplus","system":"zigzag"})");
+    session.HandleLine(R"({"id":4,"op":"stats"})");
+    session.Flush();
+    EXPECT_TRUE(session.FlushedAll());
+    EXPECT_EQ(session.requests(), 4u);
+  }  // destructor re-flushes and joins the writer
+
+  ASSERT_EQ(lines.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(lines[i].find("\"id\":" + std::to_string(i + 1)),
+              std::string::npos)
+        << "response " << i << " out of order: " << lines[i];
+  }
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"conn_id\":42"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"conn_requests\":4"), std::string::npos);
+}
+
+TEST(ServiceTest, SessionInflightCapRejectsInBandAndInOrder) {
+  QueryService::Options options;
+  options.num_workers = 2;
+  QueryService service(options);
+
+  // The emit hook holds the first response hostage: the query's slot in
+  // the inflight window frees only when its response is *emitted*, so
+  // while the gate is closed every further query line must be refused —
+  // deterministically, however fast the workers are.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::mutex lines_mutex;
+  std::vector<std::string> lines;
+  Session::Options sopts;
+  sopts.id = 7;
+  sopts.max_inflight = 1;
+  {
+    Session session(service, sopts, [&](const std::string& line) {
+      bool first;
+      {
+        std::lock_guard<std::mutex> lock(lines_mutex);
+        lines.push_back(line);
+        first = lines.size() == 1;
+      }
+      if (first) gate.wait();
+    });
+    const std::string query =
+        R"({"id":%,"kind":"system","class":"all","system":"reach_red"})";
+    auto line_with_id = [&](int id) {
+      std::string line = query;
+      return line.replace(line.find('%'), 1, std::to_string(id));
+    };
+    session.HandleLine(line_with_id(1));  // accepted: fills the window
+    session.HandleLine(line_with_id(2));  // rejected
+    session.HandleLine(line_with_id(3));  // rejected
+    EXPECT_EQ(session.rejected_overload(), 2u);
+    EXPECT_EQ(session.inflight(), 1);
+    release.set_value();
+    session.Flush();
+  }
+
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos) << lines[0];
+  for (int i = 1; i <= 2; ++i) {
+    EXPECT_NE(lines[i].find("\"error_code\":\"overloaded\""),
+              std::string::npos)
+        << lines[i];
+    EXPECT_NE(lines[i].find("\"id\":" + std::to_string(i + 1)),
+              std::string::npos)
+        << "rejections must keep their place in the order: " << lines[i];
+  }
+
+  // The service itself was never touched by the rejections.
+  service.Drain();
+  EXPECT_EQ(service.Stats().queries, 1u);
 }
 
 TEST(ServiceTest, VerdictsMatchEverySynchronousFrontDoor) {

@@ -1,247 +1,246 @@
 // amalgamd — the long-lived JSONL front door over the concurrent query
 // service.
 //
-// Reads one request object per line from stdin, executes it against a
-// QueryService (shared graph cache, single-flight build coalescing,
-// optional disk tier), and writes one response object per line to stdout
-// *in request order*. Queries are submitted asynchronously — consecutive
-// query lines run concurrently on the worker pool and identical cold
-// queries coalesce onto one graph build — and a dedicated writer thread
-// prints (and flushes) each response the moment its future resolves, so
-// an interactive request/response client is never deadlocked waiting for
-// output that is gated on its own next input. Admin ops (stats, sweep,
-// drain, shutdown) act as ordering barriers: pending query responses are
-// flushed first, so an op's answer reflects everything before it.
+// Three transports, one protocol, one Session implementation:
+//
+//   amalgamd                         # stdio (default): JSONL on stdin/stdout
+//   amalgamd --stdio                 # the same, explicitly
+//   amalgamd --uds /tmp/amalgam.sock # Unix-domain socket server
+//   amalgamd --tcp 7464              # TCP server on 127.0.0.1 (0 = ephemeral)
+//   amalgamd --uds a.sock --tcp 0    # both listeners on one event loop
+//
+// Each client connection (and stdio itself) is one Session
+// (src/service/session.h): lines parse into requests, queries run
+// concurrently on the shared worker pool — identical cold queries
+// coalesce onto one graph build, queries over a warm-but-partial graph
+// coalesce onto one suffix extension — and each client receives its
+// responses *in request order* from a dedicated per-connection writer.
+// Socket clients are multiplexed by an epoll event loop (src/net/server.h)
+// with per-connection admission control (--max-inflight-per-conn; excess
+// query lines get {"ok":false,"error_code":"overloaded"}) and idle
+// reaping (--idle-timeout-ms). Admin ops (stats, sweep, drain, shutdown)
+// answer after every earlier response on that connection; {"op":"shutdown"}
+// stops the whole daemon after flushing every client.
 //
 //   printf '%s\n' \
 //     '{"id":1,"kind":"system","class":"all","system":"reach_red"}' \
 //     '{"id":2,"kind":"words","nfa":"aplus_bplus","system":"zigzag"}' \
-//     | amalgamd --workers=4
+//     | amalgamd --threads 4
 //
-// EOF drains in-flight queries, flushes their responses and exits 0. See
-// src/service/protocol.h for the full request/response reference.
-#include <condition_variable>
+// In stdio mode EOF drains in-flight queries, flushes their responses and
+// exits 0. See src/service/protocol.h for the request/response reference.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <deque>
-#include <future>
 #include <iostream>
-#include <mutex>
+#include <stdexcept>
 #include <string>
-#include <thread>
 #include <utility>
 
+#include "net/server.h"
 #include "service/protocol.h"
 #include "service/service.h"
+#include "service/session.h"
 
 namespace {
 
 void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--workers=N] [--build-threads=N] [--cache-max-entries=N]\n"
-      "          [--store-dir=DIR] [--store-max-bytes=N] "
-      "[--store-max-files=N]\n"
-      "Reads JSONL requests from stdin, writes JSONL responses to stdout.\n",
+      "usage: %s [transport] [service options]\n"
+      "\n"
+      "transport (default: --stdio):\n"
+      "  --stdio                 serve JSONL on stdin/stdout (one client)\n"
+      "  --uds PATH              listen on a Unix-domain socket at PATH\n"
+      "  --tcp PORT              listen on 127.0.0.1:PORT (0 = ephemeral;\n"
+      "                          the bound port is printed to stderr)\n"
+      "  --max-inflight-per-conn N  reject a client's query lines with\n"
+      "                          error_code \"overloaded\" while N of its\n"
+      "                          responses are pending (0 = unbounded)\n"
+      "  --idle-timeout-ms N     close connections with no socket activity\n"
+      "                          for N ms (queries still executing don't\n"
+      "                          count as idle; 0 = never)\n"
+      "\n"
+      "service:\n"
+      "  --threads N             query worker threads (alias: --workers)\n"
+      "  --build-threads N       graph build threads per query\n"
+      "  --cache-max-entries N   memory-tier LRU cap (0 = unbounded)\n"
+      "  --store-dir DIR         attach the disk tier at DIR\n"
+      "  --store-max-bytes N / --store-max-files N   disk-tier sweep caps\n"
+      "\n"
+      "--stdio cannot be combined with --uds/--tcp; --uds and --tcp can.\n"
+      "Requests are JSONL; see src/service/protocol.h.\n",
       argv0);
 }
 
-bool ParseUint(const char* text, std::uint64_t* out) {
+bool ParseUint(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
   char* end = nullptr;
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') return false;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
   *out = v;
   return true;
 }
 
-// Prints query responses in submission order, each the moment its future
-// resolves — from a dedicated thread, so a response never waits for the
-// main thread's next stdin read. Flush() is the admin-op barrier: it
-// returns once every pushed response has been written, after which the
-// writer is parked and the caller may print on stdout itself.
-class ResponseWriter {
- public:
-  ResponseWriter() : thread_([this] { Loop(); }) {}
-
-  ~ResponseWriter() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
-    }
-    cv_.notify_one();
-    thread_.join();
-  }
-
-  void Push(amalgam::ProtocolRequest request,
-            std::future<amalgam::QueryResult> future) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      pending_.emplace_back(std::move(request), std::move(future));
-      ++enqueued_;
-    }
-    cv_.notify_one();
-  }
-
-  void Flush() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    written_cv_.wait(lock, [this] { return written_ == enqueued_; });
-  }
-
- private:
-  void Loop() {
-    for (;;) {
-      std::pair<amalgam::ProtocolRequest, std::future<amalgam::QueryResult>>
-          item;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
-        if (pending_.empty()) return;  // stop_ and nothing left to write
-        item = std::move(pending_.front());
-        pending_.pop_front();
-      }
-      const std::string response =
-          amalgam::FormatQueryResponse(item.first, item.second.get());
-      std::printf("%s\n", response.c_str());
-      std::fflush(stdout);
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++written_;
-      }
-      written_cv_.notify_all();
-    }
-  }
-
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable written_cv_;
-  std::deque<std::pair<amalgam::ProtocolRequest,
-                       std::future<amalgam::QueryResult>>>
-      pending_;
-  std::uint64_t enqueued_ = 0;
-  std::uint64_t written_ = 0;
-  bool stop_ = false;
-  std::thread thread_;
+struct Cli {
+  amalgam::QueryService::Options service;
+  amalgam::DaemonServerOptions net;
+  bool stdio = false;
+  bool help = false;
+  std::string error;  // non-empty: reject with this message
 };
+
+Cli ParseArgs(int argc, char** argv) {
+  Cli cli;
+  bool saw_threads = false;
+  bool saw_workers = false;
+  bool saw_stdio = false;
+  for (int i = 1; i < argc && cli.error.empty(); ++i) {
+    std::string flag = argv[i];
+    std::string value;
+    bool has_value = false;
+    const auto eq = flag.find('=');
+    if (eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      has_value = true;
+    }
+    auto need_value = [&]() -> bool {
+      if (has_value) return true;
+      if (i + 1 < argc) {
+        value = argv[++i];
+        return true;
+      }
+      cli.error = flag + " requires a value";
+      return false;
+    };
+    auto need_uint = [&](std::uint64_t* out) {
+      if (!need_value()) return false;
+      if (!ParseUint(value, out)) {
+        cli.error = flag + " expects a non-negative integer, got '" + value + "'";
+        return false;
+      }
+      return true;
+    };
+    std::uint64_t n = 0;
+    if (flag == "--help" || flag == "-h") {
+      cli.help = true;
+    } else if (flag == "--stdio") {
+      saw_stdio = true;
+      cli.stdio = true;
+    } else if (flag == "--uds") {
+      if (need_value()) cli.net.uds_path = value;
+    } else if (flag == "--tcp") {
+      if (need_uint(&n)) {
+        if (n > 65535) {
+          cli.error = "--tcp expects a port in [0, 65535], got " + value;
+        } else {
+          cli.net.tcp_port = static_cast<int>(n);
+        }
+      }
+    } else if (flag == "--max-inflight-per-conn") {
+      if (need_uint(&n)) cli.net.max_inflight_per_conn = static_cast<int>(n);
+    } else if (flag == "--idle-timeout-ms") {
+      if (need_uint(&n)) cli.net.idle_timeout_ms = static_cast<int>(n);
+    } else if (flag == "--threads" || flag == "--workers") {
+      (flag == "--threads" ? saw_threads : saw_workers) = true;
+      if (need_uint(&n)) cli.service.num_workers = static_cast<int>(n);
+    } else if (flag == "--build-threads") {
+      if (need_uint(&n)) cli.service.build_threads = static_cast<int>(n);
+    } else if (flag == "--cache-max-entries") {
+      if (need_uint(&n)) cli.service.cache_max_entries = static_cast<std::size_t>(n);
+    } else if (flag == "--store-dir") {
+      if (need_value()) cli.service.store_dir = value;
+    } else if (flag == "--store-max-bytes") {
+      if (need_uint(&n)) cli.service.store_max_bytes = n;
+    } else if (flag == "--store-max-files") {
+      if (need_uint(&n)) cli.service.store_max_files = n;
+    } else {
+      cli.error = "unknown flag '" + flag + "' (see --help)";
+    }
+  }
+  if (!cli.error.empty() || cli.help) return cli;
+  if (saw_threads && saw_workers) {
+    cli.error = "--threads and --workers are aliases; pass only one";
+    return cli;
+  }
+  const bool has_socket = !cli.net.uds_path.empty() || cli.net.tcp_port >= 0;
+  if (saw_stdio && has_socket) {
+    cli.error = "--stdio cannot be combined with --uds/--tcp: stdio serves "
+                "exactly one client on this terminal, sockets serve many";
+    return cli;
+  }
+  if (!has_socket) cli.stdio = true;  // default transport
+  const bool socket_only_flags =
+      cli.net.max_inflight_per_conn > 0 || cli.net.idle_timeout_ms > 0;
+  if (cli.stdio && socket_only_flags) {
+    cli.error = "--max-inflight-per-conn/--idle-timeout-ms apply to socket "
+                "transports; combine them with --uds or --tcp";
+  }
+  return cli;
+}
+
+int RunStdio(amalgam::QueryService& service) {
+  amalgam::ConnectionCounters counters;
+  counters.opened.store(1);
+  counters.open.store(1);
+  {
+    amalgam::Session::Options sopts;
+    sopts.id = 1;
+    amalgam::Session session(
+        service, sopts,
+        [](const std::string& line) {
+          std::printf("%s\n", line.c_str());
+          std::fflush(stdout);
+        },
+        &counters);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      if (session.HandleLine(line) == amalgam::Session::LineOutcome::kShutdown) {
+        break;
+      }
+    }
+    session.Flush();  // EOF/shutdown: every accepted line gets its response
+  }  // joins the session writer
+  service.Shutdown();
+  return 0;
+}
+
+int RunServer(amalgam::QueryService& service, const Cli& cli) {
+  amalgam::DaemonServer server(service, cli.net);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amalgamd: %s\n", e.what());
+    return 1;
+  }
+  if (!cli.net.uds_path.empty()) {
+    std::fprintf(stderr, "amalgamd: listening on unix:%s\n",
+                 cli.net.uds_path.c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::fprintf(stderr, "amalgamd: listening on tcp:127.0.0.1:%d\n",
+                 server.tcp_port());
+  }
+  server.WaitUntilStopped();  // until a client's {"op":"shutdown"}
+  server.Stop();              // flushes sessions before the pool goes away
+  service.Shutdown();
+  return 0;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  amalgam::QueryService::Options options;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto eq = arg.find('=');
-    const std::string flag = arg.substr(0, eq);
-    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
-    std::uint64_t n = 0;
-    if (flag == "--workers" && ParseUint(value.c_str(), &n)) {
-      options.num_workers = static_cast<int>(n);
-    } else if (flag == "--build-threads" && ParseUint(value.c_str(), &n)) {
-      options.build_threads = static_cast<int>(n);
-    } else if (flag == "--cache-max-entries" && ParseUint(value.c_str(), &n)) {
-      options.cache_max_entries = static_cast<std::size_t>(n);
-    } else if (flag == "--store-dir" && !value.empty()) {
-      options.store_dir = value;
-    } else if (flag == "--store-max-bytes" && ParseUint(value.c_str(), &n)) {
-      options.store_max_bytes = n;
-    } else if (flag == "--store-max-files" && ParseUint(value.c_str(), &n)) {
-      options.store_max_files = n;
-    } else {
-      PrintUsage(argv[0]);
-      return 2;
-    }
+  const Cli cli = ParseArgs(argc, argv);
+  if (cli.help) {
+    PrintUsage(argv[0]);
+    return 0;
   }
-
-  amalgam::QueryService service(options);
-  // The one disk tier this process serves; a query naming a different one
-  // is refused — silently swapping the tier under concurrent queries would
-  // strand the trajectory the operator believes is being extended.
-  std::string attached_store_dir = options.store_dir;
-
-  {
-    ResponseWriter writer;
-    auto reply_now = [&](const amalgam::ProtocolRequest& request,
-                         const std::string& response) {
-      writer.Flush();  // keep responses in request order
-      std::printf("%s\n", response.c_str());
-      std::fflush(stdout);
-    };
-
-    std::string line;
-    bool shutdown_requested = false;
-    amalgam::ProtocolRequest shutdown_request;
-    while (!shutdown_requested && std::getline(std::cin, line)) {
-      if (line.empty()) continue;
-      amalgam::ProtocolRequest request = amalgam::ParseRequestLine(line);
-      if (!request.error.empty()) {
-        reply_now(request,
-                  amalgam::FormatErrorResponse(request, request.error));
-        continue;
-      }
-      switch (request.op) {
-        case amalgam::ProtocolRequest::Op::kQuery: {
-          if (!request.store_dir.empty()) {
-            if (attached_store_dir.empty()) {
-              try {
-                service.cache().AttachStore(request.store_dir);
-                attached_store_dir = request.store_dir;
-              } catch (const std::exception& e) {
-                reply_now(request,
-                          amalgam::FormatErrorResponse(request, e.what()));
-                continue;
-              }
-            } else if (request.store_dir != attached_store_dir) {
-              reply_now(request,
-                        amalgam::FormatErrorResponse(
-                            request, "store_dir mismatch: this service "
-                                     "persists to " +
-                                         attached_store_dir));
-              continue;
-            }
-          }
-          std::future<amalgam::QueryResult> future =
-              service.Submit(std::move(request.query));
-          writer.Push(std::move(request), std::move(future));
-          break;
-        }
-        case amalgam::ProtocolRequest::Op::kStats:
-          // The flush resolved every earlier future; Drain additionally
-          // waits for the workers to retire them, so `pending` reads 0
-          // rather than a timing-dependent remainder.
-          writer.Flush();
-          service.Drain();
-          reply_now(request,
-                    amalgam::FormatStatsResponse(request, service.Stats()));
-          break;
-        case amalgam::ProtocolRequest::Op::kSweep: {
-          writer.Flush();
-          const amalgam::StoreSweepResult swept =
-              service.SweepStore(request.max_bytes, request.max_files);
-          reply_now(request, amalgam::FormatSweepResponse(request, swept));
-          break;
-        }
-        case amalgam::ProtocolRequest::Op::kDrain:
-          writer.Flush();
-          service.Drain();
-          reply_now(request,
-                    amalgam::FormatDrainResponse(request, service.Stats()));
-          break;
-        case amalgam::ProtocolRequest::Op::kShutdown:
-          shutdown_requested = true;
-          shutdown_request = std::move(request);
-          break;
-      }
-    }
-
-    // EOF (or shutdown): every accepted query still gets its response.
-    writer.Flush();
-    service.Shutdown();
-    if (shutdown_requested) {
-      std::printf("%s\n", amalgam::FormatShutdownResponse(shutdown_request,
-                                                          service.Stats())
-                              .c_str());
-      std::fflush(stdout);
-    }
-  }  // joins the writer
-  return 0;
+  if (!cli.error.empty()) {
+    std::fprintf(stderr, "amalgamd: %s\n", cli.error.c_str());
+    PrintUsage(argv[0]);
+    return 2;
+  }
+  amalgam::QueryService service(cli.service);
+  return cli.stdio ? RunStdio(service) : RunServer(service, cli);
 }
