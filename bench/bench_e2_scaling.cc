@@ -8,11 +8,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,8 +28,46 @@
 #include "solver/cache.h"
 #include "solver/emptiness.h"
 #include "solver/graph.h"
+#include "solver/intern.h"
 #include "solver/store.h"
 #include "system/zoo.h"
+
+// Program-wide heap-allocation counter backing BM_InternThroughput's
+// allocs_per_member counter: defining the replaceable global operator
+// new/delete here overrides them for the whole binary — the amalgam library
+// included — so the memo-hit path's zero-allocation contract is measured,
+// not assumed. Counting only; allocation itself stays malloc/free.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace amalgam {
 namespace {
@@ -149,6 +189,104 @@ BENCHMARK(BM_ParallelBuild)
     ->ArgNames({"threads"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// One member of the 2k joint stream, materialized so the kernel benchmarks
+// below replay the stream without re-enumerating it.
+struct JointMember {
+  Structure s;
+  std::vector<Elem> marks;
+};
+
+std::vector<JointMember> MaterializeJointMembers(const AllStructuresClass& cls,
+                                                 int k) {
+  std::vector<JointMember> members;
+  cls.EnumerateGenerated(
+      2 * k, [&](const Structure& s, std::span<const Elem> marks) {
+        members.push_back(JointMember{s, {marks.begin(), marks.end()}});
+      });
+  return members;
+}
+
+// The sweep inner loop in isolation — no solver, no cache, no threads: the
+// chain-64 joint stream is materialized once, the graph is warmed with one
+// full pass, and each iteration replays ProcessJointMember over the whole
+// stream. Steady state is the per-member cost the tentpole compiled:
+// bytecode guard evaluation, the direct projection key, a raw-memo hit and
+// an edge-dedup hit per guard hit — nothing interned, nothing recorded.
+void BM_SweepKernel(benchmark::State& state) {
+  DdsSystem system = ChainSystem(64, 1);
+  AllStructuresClass cls(GraphZooSchema());
+  std::vector<FormulaRef> guards;
+  for (const TransitionRule& rule : system.rules()) {
+    guards.push_back(rule.guard);
+  }
+  const int k = system.num_registers();
+  const std::vector<JointMember> members = MaterializeJointMembers(cls, k);
+
+  SubTransitionGraph graph(guards, k);
+  const auto keep_going = [](int, int, int, int) { return true; };
+  SolveStats stats;
+  for (const JointMember& m : members) {
+    graph.ProcessJointMember(m.s, m.marks, stats, keep_going);
+  }
+
+  for (auto _ : state) {
+    for (const JointMember& m : members) {
+      graph.ProcessJointMember(m.s, m.marks, stats, keep_going);
+    }
+  }
+  state.counters["members"] = static_cast<double>(members.size());
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(members.size()));
+}
+BENCHMARK(BM_SweepKernel)->Unit(benchmark::kMicrosecond);
+
+// Projection interning throughput with the global allocation counter
+// wrapped around the measured loop. hot:0 interns the chain joint stream
+// into a fresh interner every iteration (every distinct projection
+// canonicalizes and allocates); hot:1 replays it against a warmed interner,
+// where every member is a raw-memo hit served straight from the arena —
+// allocs_per_member reports the heap traffic per swept member and must be
+// zero on the hot path (intern_test pins the same contract as an assert).
+void BM_InternThroughput(benchmark::State& state) {
+  const bool hot = state.range(0) == 1;
+  AllStructuresClass cls(GraphZooSchema());
+  const std::vector<JointMember> members = MaterializeJointMembers(cls, 1);
+
+  ConfigInterner warmed;
+  for (const JointMember& m : members) {
+    warmed.InternProjection(m.s, m.marks);
+  }
+
+  std::uint64_t allocs = 0;
+  std::int64_t processed = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    if (hot) {
+      for (const JointMember& m : members) {
+        benchmark::DoNotOptimize(warmed.InternProjection(m.s, m.marks));
+      }
+    } else {
+      ConfigInterner cold;
+      for (const JointMember& m : members) {
+        benchmark::DoNotOptimize(cold.InternProjection(m.s, m.marks));
+      }
+    }
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    processed += static_cast<std::int64_t>(members.size());
+  }
+  state.counters["allocs_per_member"] =
+      processed ? static_cast<double>(allocs) / static_cast<double>(processed)
+                : 0.0;
+  state.counters["raw_memo_hits"] = static_cast<double>(warmed.raw_hits());
+  state.SetItemsProcessed(processed);
+}
+BENCHMARK(BM_InternThroughput)
+    ->ArgsProduct({{0, 1}})
+    ->ArgNames({"hot"})
+    ->Unit(benchmark::kMicrosecond);
 
 // Cold resume at a 25/50/75% cursor: a partial graph — the state an
 // early-exited query persists — is restored and finished with BuildFull.
@@ -447,13 +585,37 @@ std::vector<BenchRow> ParseBenchJson(const std::string& path) {
   return rows;
 }
 
+// The build type a run was produced under, read back from the JSON context
+// (main records it via AddCustomContext). Empty when the file predates the
+// field — treated as a mismatch against any recorded type, because an
+// unknown optimization level is exactly the hazard the check exists for.
+std::string ReadBuildType(const std::string& path) {
+  std::ifstream in(path);
+  const std::string key = "\"amalgam_library_build_type\":";
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t at = line.find(key);
+    if (at == std::string::npos) continue;
+    const std::size_t open = line.find('"', at + key.size());
+    const std::size_t close =
+        open == std::string::npos ? std::string::npos : line.find('"', open + 1);
+    if (close != std::string::npos) {
+      return line.substr(open + 1, close - open - 1);
+    }
+  }
+  return {};
+}
+
 // Prints the per-benchmark delta of the fresh run against the committed
 // baseline (bench/e2_baseline.json) — the perf trajectory successive PRs
 // compare against — and returns the worst regression in percent (0 when
 // nothing regressed or nothing was comparable). Refresh the baseline by
 // copying a fresh BENCH_e2.json over it. Rows with a sub-0.1 ms baseline
 // are printed but excluded from the regression verdict: at that scale the
-// delta is timer noise, not trajectory.
+// delta is timer noise, not trajectory. Runs whose recorded build type
+// differs from the baseline's are not diffed at all: a Debug run against a
+// Release baseline measures the optimizer, not the code, and would either
+// trip the gate spuriously or launder a real regression as "build noise".
 double PrintBaselineDelta(const std::string& fresh_path,
                           const std::string& baseline_path) {
   std::vector<BenchRow> fresh = ParseBenchJson(fresh_path);
@@ -463,6 +625,19 @@ double PrintBaselineDelta(const std::string& fresh_path,
     std::printf("\nNo baseline at %s; commit a fresh BENCH_e2.json there to "
                 "start the trajectory.\n",
                 baseline_path.c_str());
+    return 0.0;
+  }
+  const std::string fresh_type = ReadBuildType(fresh_path);
+  const std::string baseline_type = ReadBuildType(baseline_path);
+  if (fresh_type != baseline_type) {
+    std::printf(
+        "\nSkipping baseline delta: this run was built '%s' but the baseline "
+        "(%s) records '%s'. Cross-build-type deltas measure the optimizer, "
+        "not the code — rerun with the baseline's build type, or refresh the "
+        "baseline by copying this build type's BENCH_e2.json over it.\n",
+        fresh_type.empty() ? "(unrecorded)" : fresh_type.c_str(),
+        baseline_path.c_str(),
+        baseline_type.empty() ? "(unrecorded)" : baseline_type.c_str());
     return 0.0;
   }
   constexpr double kNoiseFloorMs = 0.1;
@@ -521,6 +696,13 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
     return 1;
   }
+#ifdef AMALGAM_LIBRARY_BUILD_TYPE
+  // Stamp the library's CMAKE_BUILD_TYPE into the JSON context so the
+  // baseline comparison can refuse cross-build-type diffs. (libbenchmark's
+  // own "library_build_type" context key describes *its* build, not ours.)
+  benchmark::AddCustomContext("amalgam_library_build_type",
+                              AMALGAM_LIBRARY_BUILD_TYPE);
+#endif
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!has_out) {

@@ -118,6 +118,113 @@ SubstructureResult GeneratedSubstructure(const Structure& s,
   return Restrict(s, GeneratedSubset(s, seeds));
 }
 
+namespace {
+
+// Iterates subset^arity in the table-index order of Structure::EncodeIndex
+// (position 0 is the least significant digit, so it increments fastest),
+// invoking cb() with scratch.args holding the old-id tuple. No allocation:
+// the odometer and the argument tuple live in the scratch.
+template <typename Cb>
+void ForEachSubsetTupleIndexOrder(std::span<const Elem> subset, int arity,
+                                  ProjectionScratch& scratch, Cb&& cb) {
+  if (arity == 0) {
+    cb();
+    return;
+  }
+  if (subset.empty()) return;
+  scratch.odometer.assign(arity, 0);
+  scratch.args.assign(arity, subset[0]);
+  const Elem top = static_cast<Elem>(subset.size() - 1);
+  for (;;) {
+    cb();
+    int i = 0;
+    while (i < arity && scratch.odometer[i] == top) {
+      scratch.odometer[i] = 0;
+      scratch.args[i] = subset[0];
+      ++i;
+    }
+    if (i == arity) return;
+    ++scratch.odometer[i];
+    scratch.args[i] = subset[scratch.odometer[i]];
+  }
+}
+
+}  // namespace
+
+void ComputeGeneratedSubset(const Structure& s, std::span<const Elem> seeds,
+                            ProjectionScratch& scratch) {
+  const std::size_t n = s.size();
+  scratch.in_set.assign(n, 0);
+  for (Elem e : seeds) scratch.in_set[e] = 1;
+  for (int f = 0; f < s.schema().num_functions(); ++f) {
+    if (s.schema().function(f).arity == 0 && n > 0) {
+      scratch.in_set[s.Apply(f, {})] = 1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    scratch.subset.clear();
+    for (Elem e = 0; e < n; ++e) {
+      if (scratch.in_set[e]) scratch.subset.push_back(e);
+    }
+    for (int f = 0; f < s.schema().num_functions(); ++f) {
+      const int arity = s.schema().function(f).arity;
+      if (arity == 0) continue;
+      ForEachSubsetTupleIndexOrder(scratch.subset, arity, scratch, [&] {
+        const Elem value = s.Apply(f, scratch.args);
+        if (!scratch.in_set[value]) {
+          scratch.in_set[value] = 1;
+          changed = true;
+        }
+      });
+    }
+  }
+  scratch.subset.clear();
+  scratch.old_to_new.assign(n, kNoElem);
+  for (Elem e = 0; e < n; ++e) {
+    if (scratch.in_set[e]) {
+      scratch.old_to_new[e] = static_cast<Elem>(scratch.subset.size());
+      scratch.subset.push_back(e);
+    }
+  }
+}
+
+void AppendRestrictedContent(const Structure& s, ProjectionScratch& scratch,
+                             std::string& out) {
+  // ForEachSubsetTupleIndexOrder mutates scratch.subset's siblings, never
+  // subset itself; take a span so the loops below read a stable view.
+  const std::span<const Elem> subset(scratch.subset);
+  const std::size_t m = subset.size();
+  AppendFullWidth(out, static_cast<std::uint32_t>(m));
+  for (int r = 0; r < s.schema().num_relations(); ++r) {
+    const int arity = s.schema().relation(r).arity;
+    if (m == 0 && arity == 0) {
+      // Degenerate empty-domain table: one default entry, untouched.
+      out.push_back(0);
+      continue;
+    }
+    ForEachSubsetTupleIndexOrder(subset, arity, scratch, [&] {
+      out.push_back(
+          s.Holds(r, std::span<const Elem>(scratch.args.data(), arity)) ? 1
+                                                                        : 0);
+    });
+  }
+  for (int f = 0; f < s.schema().num_functions(); ++f) {
+    const int arity = s.schema().function(f).arity;
+    if (m == 0 && arity == 0) {
+      AppendFullWidth(out, 0);
+      continue;
+    }
+    ForEachSubsetTupleIndexOrder(subset, arity, scratch, [&] {
+      AppendFullWidth(
+          out,
+          scratch.old_to_new[s.Apply(
+              f, std::span<const Elem>(scratch.args.data(), arity))]);
+    });
+  }
+}
+
 Structure DisjointUnion(const Structure& a, const Structure& b) {
   assert(a.schema() == b.schema());
   const Schema& schema = a.schema();

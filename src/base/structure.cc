@@ -145,6 +145,11 @@ Structure Structure::ApplyPermutation(std::span<const Elem> perm) const {
 
 std::string Structure::EncodeContent() const {
   std::string out;
+  AppendContent(out);
+  return out;
+}
+
+void Structure::AppendContent(std::string& out) const {
   // Domain size and function values are varint-encoded: single-byte
   // encodings alias as soon as a value reaches 256, which silently merges
   // distinct structures in every key built on top of this encoding.
@@ -155,7 +160,6 @@ std::string Structure::EncodeContent() const {
   for (const auto& table : fn_tables_) {
     for (Elem value : table) AppendFullWidth(out, value);
   }
-  return out;
 }
 
 bool Structure::operator==(const Structure& other) const {

@@ -1,0 +1,236 @@
+#include "logic/compiled.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amalgam {
+
+namespace {
+
+using Op = CompiledGuard::Op;
+using Instr = CompiledGuard::Instr;
+
+// Emits value-stack code for a term. Compile-time recursion only; the
+// emitted code is flat.
+void EmitTerm(const Term& t, std::vector<Instr>& code) {
+  if (t.kind == Term::Kind::kVar) {
+    code.push_back(Instr{Op::kLoadVar, t.var});
+    return;
+  }
+  for (const Term& a : t.args) EmitTerm(a, code);
+  code.push_back(
+      Instr{Op::kApply, t.fn, static_cast<std::int32_t>(t.args.size())});
+}
+
+bool IsVar(const Term& t) { return t.kind == Term::Kind::kVar; }
+
+// Emits code leaving exactly one bool on the bool stack.
+void EmitFormula(const Formula& f, std::vector<Instr>& code) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      code.push_back(Instr{Op::kPushTrue});
+      return;
+    case Formula::Kind::kFalse:
+      code.push_back(Instr{Op::kPushFalse});
+      return;
+    case Formula::Kind::kRel: {
+      const std::vector<Term>& ts = f.terms();
+      // All-variable atoms skip the value stack entirely — the dominant
+      // case in guard formulas (register comparisons over binary edges).
+      if (ts.size() == 2 && IsVar(ts[0]) && IsVar(ts[1])) {
+        code.push_back(Instr{Op::kRel2VV, f.rel(), ts[0].var, ts[1].var});
+        return;
+      }
+      if (ts.size() == 1 && IsVar(ts[0])) {
+        code.push_back(Instr{Op::kRel1V, f.rel(), ts[0].var});
+        return;
+      }
+      for (const Term& t : ts) EmitTerm(t, code);
+      code.push_back(
+          Instr{Op::kRel, f.rel(), static_cast<std::int32_t>(ts.size())});
+      return;
+    }
+    case Formula::Kind::kEq:
+      if (IsVar(f.terms()[0]) && IsVar(f.terms()[1])) {
+        code.push_back(
+            Instr{Op::kEqVV, f.terms()[0].var, f.terms()[1].var});
+        return;
+      }
+      EmitTerm(f.terms()[0], code);
+      EmitTerm(f.terms()[1], code);
+      code.push_back(Instr{Op::kEq});
+      return;
+    case Formula::Kind::kNot:
+      EmitFormula(*f.children()[0], code);
+      code.push_back(Instr{Op::kNot});
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      const Op gate = f.kind() == Formula::Kind::kAnd ? Op::kAndShort
+                                                      : Op::kOrShort;
+      std::vector<std::size_t> patches;
+      const auto& cs = f.children();
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        EmitFormula(*cs[i], code);
+        if (i + 1 < cs.size()) {
+          patches.push_back(code.size());
+          code.push_back(Instr{gate});
+        }
+      }
+      for (std::size_t p : patches) {
+        code[p].a = static_cast<std::int32_t>(code.size());
+      }
+      return;
+    }
+    case Formula::Kind::kExists: {
+      const std::size_t begin = code.size();
+      code.push_back(Instr{Op::kExistsBegin, f.exists_var()});
+      const std::int32_t body = static_cast<std::int32_t>(code.size());
+      EmitFormula(*f.children()[0], code);
+      code.push_back(Instr{Op::kExistsEnd, f.exists_var(), body});
+      code[begin].b = static_cast<std::int32_t>(code.size());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+CompiledGuard CompiledGuard::Compile(const Formula& f) {
+  CompiledGuard g;
+  g.num_vars_ = f.MaxVar() + 1;
+  EmitFormula(f, g.code_);
+  return g;
+}
+
+bool GuardEvaluator::Eval(const CompiledGuard& g, const Structure& s,
+                          std::span<const Elem> valuation) {
+  const std::size_t num_vars = static_cast<std::size_t>(g.num_vars());
+  if (scratch_.size() < num_vars) scratch_.resize(num_vars);
+  const std::size_t copy = std::min(valuation.size(), num_vars);
+  std::copy(valuation.begin(), valuation.begin() + copy, scratch_.begin());
+  std::fill(scratch_.begin() + copy, scratch_.begin() + num_vars, Elem{0});
+
+  values_.clear();
+  bools_.clear();
+  frames_.clear();
+
+  const Instr* code = g.code().data();
+  const std::size_t end = g.code().size();
+  std::size_t pc = 0;
+  while (pc < end) {
+    const Instr& ins = code[pc];
+    switch (ins.op) {
+      case CompiledGuard::Op::kPushTrue:
+        bools_.push_back(1);
+        ++pc;
+        break;
+      case CompiledGuard::Op::kPushFalse:
+        bools_.push_back(0);
+        ++pc;
+        break;
+      case CompiledGuard::Op::kNot:
+        bools_.back() ^= 1;
+        ++pc;
+        break;
+      case CompiledGuard::Op::kAndShort:
+        if (bools_.back()) {
+          bools_.pop_back();
+          ++pc;
+        } else {
+          pc = static_cast<std::size_t>(ins.a);
+        }
+        break;
+      case CompiledGuard::Op::kOrShort:
+        if (!bools_.back()) {
+          bools_.pop_back();
+          ++pc;
+        } else {
+          pc = static_cast<std::size_t>(ins.a);
+        }
+        break;
+      case CompiledGuard::Op::kLoadVar:
+        values_.push_back(scratch_[ins.a]);
+        ++pc;
+        break;
+      case CompiledGuard::Op::kApply: {
+        const std::size_t arity = static_cast<std::size_t>(ins.b);
+        const std::span<const Elem> args(values_.data() + values_.size() -
+                                             arity,
+                                         arity);
+        const Elem v = s.Apply(ins.a, args);
+        values_.resize(values_.size() - arity);
+        values_.push_back(v);
+        ++pc;
+        break;
+      }
+      case CompiledGuard::Op::kRel: {
+        const std::size_t arity = static_cast<std::size_t>(ins.b);
+        const std::span<const Elem> args(values_.data() + values_.size() -
+                                             arity,
+                                         arity);
+        const bool holds = s.Holds(ins.a, args);
+        values_.resize(values_.size() - arity);
+        bools_.push_back(holds ? 1 : 0);
+        ++pc;
+        break;
+      }
+      case CompiledGuard::Op::kRel1V:
+        bools_.push_back(s.Holds1(ins.a, scratch_[ins.b]) ? 1 : 0);
+        ++pc;
+        break;
+      case CompiledGuard::Op::kRel2VV:
+        bools_.push_back(
+            s.Holds2(ins.a, scratch_[ins.b], scratch_[ins.c]) ? 1 : 0);
+        ++pc;
+        break;
+      case CompiledGuard::Op::kEq: {
+        const Elem rhs = values_.back();
+        values_.pop_back();
+        const Elem lhs = values_.back();
+        values_.pop_back();
+        bools_.push_back(lhs == rhs ? 1 : 0);
+        ++pc;
+        break;
+      }
+      case CompiledGuard::Op::kEqVV:
+        bools_.push_back(scratch_[ins.a] == scratch_[ins.b] ? 1 : 0);
+        ++pc;
+        break;
+      case CompiledGuard::Op::kExistsBegin:
+        if (s.size() == 0) {
+          bools_.push_back(0);
+          pc = static_cast<std::size_t>(ins.b);
+        } else {
+          frames_.push_back(Frame{0, scratch_[ins.a]});
+          scratch_[ins.a] = 0;
+          ++pc;
+        }
+        break;
+      case CompiledGuard::Op::kExistsEnd: {
+        const bool hit = bools_.back() != 0;
+        bools_.pop_back();
+        Frame& frame = frames_.back();
+        if (hit) {
+          scratch_[ins.a] = frame.saved;
+          frames_.pop_back();
+          bools_.push_back(1);
+          ++pc;
+        } else if (static_cast<std::size_t>(++frame.next) < s.size()) {
+          scratch_[ins.a] = frame.next;
+          pc = static_cast<std::size_t>(ins.b);
+        } else {
+          scratch_[ins.a] = frame.saved;
+          frames_.pop_back();
+          bools_.push_back(0);
+          ++pc;
+        }
+        break;
+      }
+    }
+  }
+  assert(bools_.size() == 1);
+  return bools_.back() != 0;
+}
+
+}  // namespace amalgam

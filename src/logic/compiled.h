@@ -1,0 +1,107 @@
+// Compiled guard kernels: flat postfix bytecode for formula evaluation.
+//
+// EvalFormula walks the Formula AST recursively and allocates an extended
+// valuation per quantifier frame — fine for one-off evaluation, far too
+// heavy for the sweep hot loop, which evaluates every guard on every joint
+// member of the class. CompiledGuard lowers a formula once per build into a
+// flat instruction array; GuardEvaluator runs it in a non-recursive,
+// zero-allocation VM over (Structure, valuation):
+//
+//   * connectives compile to short-circuit jumps over a reusable bool
+//     stack, so And/Or cost exactly what the reference evaluator's early
+//     exits cost;
+//   * binary/unary relation atoms whose terms are plain variables dispatch
+//     straight to Structure::Holds2/Holds1 — no term stack, no span;
+//   * quantifiers become explicit loop frames over a scratch valuation
+//     owned by the evaluator: kExistsBegin saves the shadowed variable and
+//     starts the domain loop, kExistsEnd either exits with the result or
+//     jumps back to the body start with the next element. Save/restore
+//     reproduces exactly the per-frame valuation copies of EvalFormula
+//     (variable shadowing included), without the copies.
+//
+// CompiledGuard::Eval(evaluator, s, valuation) == EvalFormula(f, s,
+// valuation) for every formula, structure and covering valuation — pinned
+// by the differential fuzz in tests/compiled_guard_test.cc. The bytecode is
+// immutable after Compile and shareable across threads; all mutable state
+// (value/bool/frame stacks, scratch valuation) lives in the GuardEvaluator,
+// so each sweep worker owns one evaluator and evaluates concurrently.
+#ifndef AMALGAM_LOGIC_COMPILED_H_
+#define AMALGAM_LOGIC_COMPILED_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/structure.h"
+#include "logic/formula.h"
+
+namespace amalgam {
+
+/// One guard formula lowered to flat bytecode. Immutable after Compile;
+/// evaluate through a GuardEvaluator.
+class CompiledGuard {
+ public:
+  enum class Op : std::uint8_t {
+    kPushTrue,     // push true on the bool stack
+    kPushFalse,    // push false
+    kNot,          // negate the top of the bool stack
+    kAndShort,     // top false: jump to a (keep false); else pop, continue
+    kOrShort,      // top true: jump to a (keep true); else pop, continue
+    kLoadVar,      // push scratch[a] on the value stack
+    kApply,        // pop b args, push s.Apply(a, args)
+    kRel,          // pop b args, push bool s.Holds(a, args)
+    kRel1V,        // push bool s.Holds1(a, scratch[b])
+    kRel2VV,       // push bool s.Holds2(a, scratch[b], scratch[c])
+    kEq,           // pop 2 values, push bool equality
+    kEqVV,         // push bool scratch[a] == scratch[b]
+    kExistsBegin,  // open a domain loop over variable a; b = pc past the
+                   // matching kExistsEnd (taken when the domain is empty)
+    kExistsEnd,    // close the loop for variable a; b = body-start pc
+  };
+
+  struct Instr {
+    Op op;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    std::int32_t c = 0;
+  };
+
+  /// Lowers `f` (any formula, quantifiers included) to bytecode.
+  static CompiledGuard Compile(const Formula& f);
+
+  const std::vector<Instr>& code() const { return code_; }
+  /// Scratch-valuation size the evaluator needs: MaxVar() + 1.
+  int num_vars() const { return num_vars_; }
+
+ private:
+  std::vector<Instr> code_;
+  int num_vars_ = 0;
+};
+
+/// The VM state for evaluating CompiledGuards: reusable stacks and the
+/// scratch valuation. One evaluator per thread; evaluations reuse the
+/// buffers, so steady-state Eval performs zero heap allocations.
+class GuardEvaluator {
+ public:
+  /// Evaluates `g` on `s` under `valuation` (entries beyond the guard's
+  /// variables are ignored; missing entries read as 0, matching the
+  /// reference evaluator's zero-extension). Quantifiers range over the
+  /// domain of `s`.
+  bool Eval(const CompiledGuard& g, const Structure& s,
+            std::span<const Elem> valuation);
+
+ private:
+  struct Frame {
+    Elem next;   // current domain element of the open quantifier loop
+    Elem saved;  // shadowed scratch value, restored on loop exit
+  };
+
+  std::vector<Elem> scratch_;
+  std::vector<Elem> values_;
+  std::vector<char> bools_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_LOGIC_COMPILED_H_

@@ -22,22 +22,23 @@ std::uint64_t PackShapePair(int old_shape, int new_shape) {
 // One joint member through the guard sweep — the single definition of the
 // per-member semantics the bit-identical-to-serial guarantee rests on,
 // shared by the streaming/eager path (ProcessJointMember) and the parallel
-// workers. Evaluates every guard in order; on the first hit `intern` maps
-// the old/new k-mark projections to shape ids (in that order — the merge
-// keys on it); for each hit whose (guard, old, new) triple `dedup` reports
-// fresh, `record` logs the edge with its recording rank within the member.
+// workers. Evaluates every compiled guard in order (through `eval`, the
+// calling thread's VM state); on the first hit `intern` maps the old/new
+// k-mark projections to shape ids (in that order — the merge keys on it);
+// for each hit whose (guard, old, new) triple `dedup` reports fresh,
+// `record` logs the edge with its recording rank within the member.
 // Returns false iff `record` requested a stop.
 template <typename Intern, typename Dedup, typename Record>
-bool SweepJointMember(const std::vector<FormulaRef>& guards, int k,
-                      const Structure& d, std::span<const Elem> marks,
-                      SolveStats& stats, Intern&& intern, Dedup&& dedup,
-                      Record&& record) {
+bool SweepJointMember(std::span<const CompiledGuard> guards,
+                      GuardEvaluator& eval, int k, const Structure& d,
+                      std::span<const Elem> marks, SolveStats& stats,
+                      Intern&& intern, Dedup&& dedup, Record&& record) {
   int old_shape = -1;
   int new_shape = -1;
   std::uint32_t rank = 0;
   for (std::size_t g = 0; g < guards.size(); ++g) {
     ++stats.guard_evaluations;
-    if (!EvalFormula(*guards[g], d, marks)) continue;
+    if (!eval.Eval(guards[g], d, marks)) continue;
     if (old_shape < 0) {
       std::tie(old_shape, new_shape) =
           intern(std::span<const Elem>(marks.data(), k),
@@ -54,7 +55,12 @@ bool SweepJointMember(const std::vector<FormulaRef>& guards, int k,
 }  // namespace
 
 SubTransitionGraph::SubTransitionGraph(std::vector<FormulaRef> guards, int k)
-    : guards_(std::move(guards)), k_(k), seen_(guards_.size()) {}
+    : guards_(std::move(guards)), k_(k), seen_(guards_.size()) {
+  compiled_guards_.reserve(guards_.size());
+  for (const FormulaRef& g : guards_) {
+    compiled_guards_.push_back(CompiledGuard::Compile(*g));
+  }
+}
 
 std::shared_ptr<SubTransitionGraph> SubTransitionGraph::FromParts(
     std::vector<FormulaRef> guards, int k, std::vector<CanonicalForm> shapes,
@@ -85,9 +91,7 @@ std::shared_ptr<SubTransitionGraph> SubTransitionGraph::FromParts(
       if (e.step < 0 || e.step >= num_steps) return nullptr;
       // Rebuild the per-guard dedup sets; a repeated (guard, old, new)
       // triple can only come from a corrupt payload.
-      if (!graph->seen_[e.guard]
-               .insert(PackShapePair(s, e.new_shape))
-               .second) {
+      if (!graph->seen_[e.guard].Insert(PackShapePair(s, e.new_shape))) {
         return nullptr;
       }
       ++num_edges;
@@ -136,7 +140,7 @@ bool SubTransitionGraph::ProcessJointMember(const Structure& d,
                                             SolveStats& stats,
                                             const EdgeCallback& on_new_edge) {
   return SweepJointMember(
-      guards_, k_, d, marks, stats,
+      compiled_guards_, guard_eval_, k_, d, marks, stats,
       [&](std::span<const Elem> old_marks, std::span<const Elem> new_marks) {
         const int old_shape = interner_.InternProjection(d, old_marks);
         const int new_shape = interner_.InternProjection(d, new_marks);
@@ -147,7 +151,7 @@ bool SubTransitionGraph::ProcessJointMember(const Structure& d,
         return std::pair<int, int>(old_shape, new_shape);
       },
       [&](int g, int old_shape, int new_shape) {
-        return seen_[g].insert(PackShapePair(old_shape, new_shape)).second;
+        return seen_[g].Insert(PackShapePair(old_shape, new_shape));
       },
       [&](int g, int old_shape, int new_shape, std::uint32_t /*rank*/) {
         const int step = static_cast<int>(steps_.size());
@@ -245,7 +249,9 @@ void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
   };
   struct Worker {
     StagingInterner staging;
-    std::vector<std::unordered_set<std::uint64_t>> seen;
+    std::vector<FlatU64Set> seen;
+    // Per-worker VM state: the compiled guards are shared read-only.
+    GuardEvaluator eval;
     std::vector<StagedEdge> edges;
     std::vector<SubTransition> steps;
     SolveStats stats;
@@ -264,7 +270,7 @@ void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
             if (stream_index < joint_start) return true;
             ++wk.stats.members_enumerated;
             SweepJointMember(
-                guards_, k_, d, marks, wk.stats,
+                compiled_guards_, wk.eval, k_, d, marks, wk.stats,
                 [&](std::span<const Elem> old_marks,
                     std::span<const Elem> new_marks) {
                   const int local_old = wk.staging.InternProjection(
@@ -281,9 +287,7 @@ void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
                   return std::pair<int, int>(local_old, local_new);
                 },
                 [&](int g, int local_old, int local_new) {
-                  return wk.seen[g]
-                      .insert(PackShapePair(local_old, local_new))
-                      .second;
+                  return wk.seen[g].Insert(PackShapePair(local_old, local_new));
                 },
                 [&](int g, int local_old, int local_new,
                     std::uint32_t rank) {
@@ -362,7 +366,7 @@ void SubTransitionGraph::BuildFullParallel(const SolverBackend& backend,
     const StagedEdge& e = *m.staged;
     const int old_shape = remap[m.worker][e.local_old];
     const int new_shape = remap[m.worker][e.local_new];
-    if (!seen_[e.guard].insert(PackShapePair(old_shape, new_shape)).second) {
+    if (!seen_[e.guard].Insert(PackShapePair(old_shape, new_shape))) {
       continue;
     }
     const int step = static_cast<int>(steps_.size());

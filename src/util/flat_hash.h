@@ -1,0 +1,148 @@
+// Open-addressing flat hash tables for the sweep hot path.
+//
+// The interner and the edge-dedup sets sit in the innermost loop of every
+// graph build; node-based unordered containers cost one heap allocation and
+// one pointer chase per entry there. FlatTable is the replacement: a single
+// contiguous slot array probed linearly, power-of-two sized, grown at 7/8
+// load. Entries are never erased (interners and dedup sets only grow), so
+// probing needs no tombstones: a probe chain for a hash ends at the first
+// empty slot, always.
+//
+// The table is deliberately low-level: callers pass the (precomputed) hash
+// and an equality predicate at each call site, so one table type serves
+// heterogeneous keys — dense shape ids compared through an arena, raw-key
+// spans compared against a scratch buffer, packed uint64 pairs compared
+// directly — without the keys being stored twice.
+#ifndef AMALGAM_UTIL_FLAT_HASH_H_
+#define AMALGAM_UTIL_FLAT_HASH_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace amalgam {
+
+/// An insert-only open-addressing table of `Entry` values, probed by a
+/// caller-supplied hash. `Entry` must be cheaply movable. Duplicate hashes
+/// are fine (the predicate disambiguates within a probe chain), so the
+/// table doubles as a multi-bucket: Find returns the first entry on the
+/// chain whose predicate matches, or nullptr at the chain's end.
+template <typename Entry>
+class FlatTable {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// First entry matching (hash, eq), or nullptr. `eq` is only invoked on
+  /// entries stored under an equal hash.
+  template <typename Eq>
+  Entry* Find(std::size_t hash, Eq&& eq) {
+    if (size_ == 0) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = Mix(hash) & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (!slot.used) return nullptr;
+      if (slot.hash == hash && eq(slot.entry)) return &slot.entry;
+    }
+  }
+  template <typename Eq>
+  const Entry* Find(std::size_t hash, Eq&& eq) const {
+    return const_cast<FlatTable*>(this)->Find(hash, std::forward<Eq>(eq));
+  }
+
+  /// Inserts `entry` under `hash`. Precondition: no entry matching the
+  /// caller's equality already exists (callers always Find first). The
+  /// returned reference is invalidated by the next insert.
+  Entry& InsertUnique(std::size_t hash, Entry entry) {
+    if ((size_ + 1) * 8 > slots_.size() * 7) {
+      Grow(slots_.empty() ? kInitialSlots : slots_.size() * 2);
+    }
+    ++size_;
+    return Place(hash, std::move(entry)).entry;
+  }
+
+  /// Pre-sizes the slot array for at least `n` entries.
+  void Reserve(std::size_t n) {
+    std::size_t want = kInitialSlots;
+    while (n * 8 > want * 7) want *= 2;
+    if (want > slots_.size()) Grow(want);
+  }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 16;
+
+  struct Slot {
+    std::size_t hash = 0;
+    Entry entry{};
+    bool used = false;
+  };
+
+  // Raw hashes reach this table from heterogeneous sources (byte-range
+  // hashes, packed ids); one more round of mixing keeps the probe start
+  // uniform even when a caller's hash has structured low bits.
+  static std::size_t Mix(std::size_t hash) {
+    return static_cast<std::size_t>(HashU64(hash));
+  }
+
+  Slot& Place(std::size_t hash, Entry entry) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Mix(hash) & mask;
+    while (slots_[i].used) i = (i + 1) & mask;
+    Slot& slot = slots_[i];
+    slot.hash = hash;
+    slot.entry = std::move(entry);
+    slot.used = true;
+    return slot;
+  }
+
+  void Grow(std::size_t new_slots) {
+    assert((new_slots & (new_slots - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    for (Slot& slot : old) {
+      if (slot.used) Place(slot.hash, std::move(slot.entry));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+/// A flat set of uint64 keys (packed shape-id pairs in the edge dedup).
+/// Keys are their own entries; HashU64 scatters the near-sequential ids.
+class FlatU64Set {
+ public:
+  /// Inserts `key`; returns true iff it was not present.
+  bool Insert(std::uint64_t key) {
+    const std::size_t hash = static_cast<std::size_t>(key);
+    if (table_.Find(hash, [key](std::uint64_t e) { return e == key; })) {
+      return false;
+    }
+    table_.InsertUnique(hash, key);
+    return true;
+  }
+
+  bool Contains(std::uint64_t key) const {
+    return table_.Find(static_cast<std::size_t>(key),
+                       [key](std::uint64_t e) { return e == key; }) != nullptr;
+  }
+
+  std::size_t size() const { return table_.size(); }
+  void Reserve(std::size_t n) { table_.Reserve(n); }
+
+ private:
+  FlatTable<std::uint64_t> table_;
+};
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_UTIL_FLAT_HASH_H_

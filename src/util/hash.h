@@ -15,6 +15,17 @@ inline void HashCombine(std::size_t& seed, std::size_t value) {
   seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
 }
 
+/// Finalizing 64-bit mixer (splitmix64). Open-addressing tables probe by
+/// hash bits directly, so near-sequential keys (packed shape-id pairs,
+/// dense ids) must be scattered before use; this is the standard full
+/// avalanche finalizer.
+inline std::uint64_t HashU64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Hashes a contiguous range of integral values.
 template <typename It>
 std::size_t HashRange(It first, It last) {

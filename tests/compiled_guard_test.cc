@@ -1,0 +1,181 @@
+// Differential fuzz for the compiled guard kernels: CompiledGuard::Eval
+// must agree with the recursive reference evaluator (EvalFormula) on every
+// (formula, structure, valuation) triple — quantifiers, negation, nested
+// connectives and function terms included. The generator is seeded, so a
+// failure reproduces; the fixed regressions at the bottom pin the two
+// semantic corners that are easiest to get wrong in a loop-frame VM
+// (empty-domain quantification and variable shadowing).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "base/schema.h"
+#include "base/structure.h"
+#include "logic/compiled.h"
+#include "logic/formula.h"
+
+namespace amalgam {
+namespace {
+
+constexpr int kNumVars = 4;
+
+// A schema exercising every atom shape the compiler special-cases: a binary
+// relation (kRel2VV), a unary relation (kRel1V), a unary function and a
+// constant (general term stack + kApply).
+SchemaRef FuzzSchema() {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("p", 1);
+  s.AddFunction("f", 1);
+  s.AddFunction("c", 0);
+  return MakeSchema(std::move(s));
+}
+
+Structure RandomStructure(const SchemaRef& schema, std::mt19937& rng) {
+  const std::size_t n = 1 + rng() % 4;
+  Structure s(schema, n);
+  for (Elem a = 0; a < n; ++a) {
+    if (rng() % 2) s.SetHolds1(1, a);
+    for (Elem b = 0; b < n; ++b) {
+      if (rng() % 3 == 0) s.SetHolds2(0, a, b);
+    }
+    s.SetFunction1(0, a, static_cast<Elem>(rng() % n));
+  }
+  s.SetFunction(1, {}, static_cast<Elem>(rng() % n));
+  return s;
+}
+
+Term RandomTerm(std::mt19937& rng, int depth) {
+  const int pick = static_cast<int>(rng() % (depth > 0 ? 4 : 2));
+  switch (pick) {
+    case 0:
+    case 1:
+      return Term::Var(static_cast<int>(rng() % kNumVars));
+    case 2:
+      return Term::App(0, {RandomTerm(rng, depth - 1)});
+    default:
+      return Term::App(1, {});
+  }
+}
+
+FormulaRef RandomFormula(std::mt19937& rng, int depth) {
+  const int pick = static_cast<int>(rng() % (depth > 0 ? 9 : 5));
+  switch (pick) {
+    case 0:
+      return Formula::True();
+    case 1:
+      return Formula::False();
+    case 2:
+      return Formula::Rel(0, {RandomTerm(rng, 1), RandomTerm(rng, 1)});
+    case 3:
+      return Formula::Rel(1, {RandomTerm(rng, 1)});
+    case 4:
+      return Formula::Eq(RandomTerm(rng, 1), RandomTerm(rng, 1));
+    case 5:
+      return Formula::Not(RandomFormula(rng, depth - 1));
+    case 6:
+      return Formula::And(RandomFormula(rng, depth - 1),
+                          RandomFormula(rng, depth - 1));
+    case 7:
+      return Formula::Or(RandomFormula(rng, depth - 1),
+                         RandomFormula(rng, depth - 1));
+    default:
+      return Formula::Exists(static_cast<int>(rng() % kNumVars),
+                             RandomFormula(rng, depth - 1));
+  }
+}
+
+TEST(CompiledGuardTest, DifferentialFuzzAgainstEvalFormula) {
+  SchemaRef schema = FuzzSchema();
+  std::mt19937 rng(20260808);
+  GuardEvaluator eval;
+  for (int round = 0; round < 400; ++round) {
+    FormulaRef f = RandomFormula(rng, 4);
+    const CompiledGuard compiled = CompiledGuard::Compile(*f);
+    for (int si = 0; si < 4; ++si) {
+      Structure s = RandomStructure(schema, rng);
+      for (int vi = 0; vi < 4; ++vi) {
+        std::vector<Elem> valuation(kNumVars);
+        for (Elem& v : valuation) {
+          v = static_cast<Elem>(rng() % s.size());
+        }
+        EXPECT_EQ(eval.Eval(compiled, s, valuation),
+                  EvalFormula(*f, s, valuation))
+            << "divergence at round " << round << " on\n  "
+            << f->ToString(*schema) << "\nover\n"
+            << s.ToString();
+      }
+    }
+  }
+}
+
+TEST(CompiledGuardTest, EvaluatorIsReusableAcrossGuards) {
+  // One evaluator serves many guards of different variable counts and
+  // quantifier depths back to back — exactly how the sweep uses it.
+  SchemaRef schema = FuzzSchema();
+  std::mt19937 rng(7);
+  Structure s = RandomStructure(schema, rng);
+  GuardEvaluator eval;
+  std::vector<FormulaRef> guards;
+  std::vector<CompiledGuard> compiled;
+  for (int i = 0; i < 32; ++i) {
+    guards.push_back(RandomFormula(rng, 3));
+    compiled.push_back(CompiledGuard::Compile(*guards.back()));
+  }
+  std::vector<Elem> valuation(kNumVars, 0);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < guards.size(); ++i) {
+      EXPECT_EQ(eval.Eval(compiled[i], s, valuation),
+                EvalFormula(*guards[i], s, valuation));
+    }
+  }
+}
+
+TEST(CompiledGuardTest, ExistsOverEmptyDomainIsFalse) {
+  SchemaRef schema = FuzzSchema();
+  Structure empty(schema, 0);
+  GuardEvaluator eval;
+
+  FormulaRef f = Formula::Exists(0, Formula::True());
+  EXPECT_FALSE(eval.Eval(CompiledGuard::Compile(*f), empty, {}));
+  EXPECT_FALSE(EvalFormula(*f, empty, {}));
+
+  // Under negation the empty loop flips: !Ex0.true is true.
+  FormulaRef g = Formula::Not(f);
+  EXPECT_TRUE(eval.Eval(CompiledGuard::Compile(*g), empty, {}));
+  EXPECT_TRUE(EvalFormula(*g, empty, {}));
+}
+
+TEST(CompiledGuardTest, InnerQuantifierShadowingRestoresOuterBinding) {
+  // Ex0. (Ex0. p(x0)) & !p(x0): the inner loop rebinds x0; after it exits,
+  // the outer binding must be restored or the conjunct !p(x0) reads the
+  // inner loop's last element. With p(0) and !p(1) the formula is true
+  // (witness x0 = 1), and a VM that fails to restore the shadowed slot
+  // would leave x0 at the inner loop's exit value instead.
+  SchemaRef schema = FuzzSchema();
+  Structure s(schema, 2);
+  s.SetHolds1(1, 0);
+  FormulaRef f = Formula::Exists(
+      0, Formula::And(Formula::Exists(0, Formula::Rel(1, {Term::Var(0)})),
+                      Formula::Not(Formula::Rel(1, {Term::Var(0)}))));
+  GuardEvaluator eval;
+  EXPECT_TRUE(EvalFormula(*f, s, {}));
+  EXPECT_TRUE(eval.Eval(CompiledGuard::Compile(*f), s, {}));
+}
+
+TEST(CompiledGuardTest, ShortValuationZeroExtends) {
+  // A guard whose quantified variable id exceeds the valuation length:
+  // both evaluators zero-extend, so a closed formula over high variable
+  // ids evaluates under an empty valuation.
+  SchemaRef schema = FuzzSchema();
+  Structure s(schema, 3);
+  s.SetHolds1(1, 2);
+  FormulaRef f = Formula::Exists(2, Formula::Rel(1, {Term::Var(2)}));
+  GuardEvaluator eval;
+  EXPECT_TRUE(EvalFormula(*f, s, {}));
+  EXPECT_TRUE(eval.Eval(CompiledGuard::Compile(*f), s, {}));
+}
+
+}  // namespace
+}  // namespace amalgam

@@ -1,0 +1,155 @@
+// Unit tests for the open-addressing flat tables under the interner and
+// the edge dedup: growth keeps every entry findable, duplicate hashes
+// disambiguate through the caller's predicate, and the set behaves like
+// the node-based set it replaced under interner-shaped churn.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/flat_hash.h"
+#include "util/hash.h"
+
+namespace amalgam {
+namespace {
+
+TEST(FlatTableTest, FindOnEmptyTableIsNull) {
+  FlatTable<int> table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.Find(42, [](int) { return true; }), nullptr);
+}
+
+TEST(FlatTableTest, InsertThenFindAcrossGrowth) {
+  // Push far past the initial 16 slots so the table rehashes repeatedly;
+  // every entry must stay findable under its original hash after each
+  // growth, and foreign hashes must miss.
+  FlatTable<std::uint32_t> table;
+  constexpr std::uint32_t kN = 10000;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    const std::size_t hash = HashU64(i);
+    ASSERT_EQ(table.Find(hash, [&](std::uint32_t e) { return e == i; }),
+              nullptr);
+    table.InsertUnique(hash, i);
+  }
+  EXPECT_EQ(table.size(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    const std::uint32_t* found =
+        table.Find(HashU64(i), [&](std::uint32_t e) { return e == i; });
+    ASSERT_NE(found, nullptr) << "entry " << i << " lost in a rehash";
+    EXPECT_EQ(*found, i);
+  }
+  for (std::uint32_t i = kN; i < kN + 100; ++i) {
+    EXPECT_EQ(table.Find(HashU64(i), [&](std::uint32_t e) { return e == i; }),
+              nullptr);
+  }
+}
+
+TEST(FlatTableTest, DuplicateHashesDisambiguateByPredicate) {
+  // The interner stores heterogeneous keys under colliding hashes; the
+  // probe chain must surface exactly the entry whose predicate matches.
+  FlatTable<int> table;
+  const std::size_t hash = 12345;
+  for (int i = 0; i < 8; ++i) table.InsertUnique(hash, i);
+  for (int i = 0; i < 8; ++i) {
+    const int* found = table.Find(hash, [&](int e) { return e == i; });
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, i);
+  }
+  EXPECT_EQ(table.Find(hash, [](int e) { return e == 99; }), nullptr);
+}
+
+TEST(FlatTableTest, ReserveAvoidsLosingEntries) {
+  FlatTable<int> table;
+  table.Reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    table.InsertUnique(HashU64(static_cast<std::uint64_t>(i)), i);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(table.Find(HashU64(static_cast<std::uint64_t>(i)),
+                         [&](int e) { return e == i; }),
+              nullptr);
+  }
+}
+
+TEST(FlatTableTest, SpanEntriesCompareThroughSideArena) {
+  // The interner's raw-key pattern: entries are (offset, length) spans into
+  // a bump arena, compared against a scratch string at each probe.
+  struct Span {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+  };
+  FlatTable<Span> table;
+  std::string arena;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back("key-" + std::to_string(i * 7919));
+  }
+  for (const std::string& key : keys) {
+    const std::size_t hash = HashRange(key.begin(), key.end());
+    auto eq = [&](const Span& e) {
+      return e.length == key.size() &&
+             arena.compare(e.offset, e.length, key) == 0;
+    };
+    ASSERT_EQ(table.Find(hash, eq), nullptr);
+    table.InsertUnique(hash, Span{arena.size(), key.size()});
+    arena += key;  // growth must not invalidate earlier spans
+  }
+  for (const std::string& key : keys) {
+    const std::size_t hash = HashRange(key.begin(), key.end());
+    const Span* found = table.Find(hash, [&](const Span& e) {
+      return e.length == key.size() &&
+             arena.compare(e.offset, e.length, key) == 0;
+    });
+    ASSERT_NE(found, nullptr) << key;
+  }
+}
+
+TEST(FlatU64SetTest, InsertReportsFreshness) {
+  FlatU64Set set;
+  EXPECT_TRUE(set.Insert(7));
+  EXPECT_FALSE(set.Insert(7));
+  EXPECT_TRUE(set.Insert(8));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(7));
+  EXPECT_FALSE(set.Contains(9));
+}
+
+TEST(FlatU64SetTest, PackedPairChurnMatchesReferenceSet) {
+  // Edge-dedup-shaped load: near-sequential packed (old, new) shape pairs
+  // with heavy re-insertion. The flat set must agree with the standard set
+  // on every freshness verdict and on the final size.
+  FlatU64Set set;
+  std::unordered_set<std::uint64_t> reference;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t old_shape = rng() % 512;
+    const std::uint64_t new_shape = rng() % 512;
+    const std::uint64_t key = (old_shape << 32) | new_shape;
+    EXPECT_EQ(set.Insert(key), reference.insert(key).second);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (std::uint64_t key : reference) {
+    EXPECT_TRUE(set.Contains(key));
+  }
+}
+
+TEST(FlatU64SetTest, SequentialKeysStayFastAndCorrect) {
+  // Shape ids are dense and sequential — the worst case for an identity
+  // hash in a power-of-two table; the splitmix64 mix must keep probing
+  // sane. Correctness is what the test asserts; degenerate clustering
+  // would show up as a timeout.
+  FlatU64Set set;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(set.Insert(i));
+  }
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_FALSE(set.Insert(i));
+  }
+  EXPECT_EQ(set.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace amalgam

@@ -1,14 +1,40 @@
 // Unit tests for the canonical-form interner: permutation invariance,
-// collision (distinct shapes never merge), raw-key memoization, and the
-// precomputed CanonicalForm hash.
+// collision (distinct shapes never merge), raw-key memoization, the
+// memo-hit zero-allocation contract, and the precomputed CanonicalForm
+// hash.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <set>
 
 #include "base/canonical.h"
 #include "fraisse/relational.h"
 #include "solver/intern.h"
 #include "system/zoo.h"
+
+// Counting replacements for the global allocation functions: the
+// MemoHitAllocatesNothing test below asserts the interner's hot path stays
+// off the heap, and a counter hook is the only way to observe that.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace amalgam {
 namespace {
@@ -82,6 +108,33 @@ TEST(InternTest, RawMemoSkipsRecanonicalization) {
   int b = interner.Intern(g, marks);
   EXPECT_EQ(a, b);
   EXPECT_EQ(interner.raw_hits(), 1u);
+}
+
+TEST(InternTest, MemoHitAllocatesNothing) {
+  // The sweep's steady state: every projection the hot loop interns is a
+  // raw-memo hit. The direct key encoder plus the arena-backed memo must
+  // serve such a hit without touching the heap at all — key construction
+  // reuses the scratch buffer, the probe compares in place, and no
+  // substructure is materialized.
+  ConfigInterner interner;
+  Structure g = PathGraph();
+  std::vector<Elem> marks = {1, 2};
+  // Warm: the first call misses, canonicalizes, and sizes every scratch
+  // buffer; everything after is the steady state under test.
+  const int hit = interner.InternProjection(g, marks);
+  const std::uint64_t hits_before = interner.raw_hits();
+
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  int repeated = -1;
+  for (int i = 0; i < 100; ++i) {
+    repeated = interner.InternProjection(g, marks);
+  }
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(repeated, hit);
+  EXPECT_EQ(interner.raw_hits(), hits_before + 100);
+  EXPECT_EQ(allocs, 0u) << "memo-hit InternProjection touched the heap";
 }
 
 TEST(InternTest, ProjectionMatchesDirectIntern) {
