@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Doc-drift guard for docs/OPERATIONS.md.
+#
+# Two checks, both against the *built* amalgamd so the doc can never
+# drift from the binary unnoticed:
+#
+#   1. Flags, both directions: every `--flag` named in the doc must be
+#      listed by `amalgamd --help`, and every flag `--help` lists must
+#      be documented.
+#   2. Examples: every fenced ```jsonl block in the doc is piped, as-is,
+#      into a fresh `amalgamd --store-dir <tmpdir>`; every request line
+#      must come back with an "ok":true response.
+#
+# Usage: ci/check_operations_doc.sh [path/to/amalgamd] [path/to/OPERATIONS.md]
+set -u
+
+AMALGAMD=${1:-build/amalgamd}
+DOC=${2:-docs/OPERATIONS.md}
+
+if [ ! -x "$AMALGAMD" ]; then
+  echo "error: amalgamd not executable at $AMALGAMD" >&2
+  exit 1
+fi
+if [ ! -f "$DOC" ]; then
+  echo "error: doc not found at $DOC" >&2
+  exit 1
+fi
+
+fail=0
+
+# --- 1. Flag drift, both directions ----------------------------------
+# --help is the one flag the usage text itself need not re-list.
+help_text=$("$AMALGAMD" --help 2>&1)
+doc_flags=$(grep -oE -- '--[a-z][a-z0-9-]*' "$DOC" | sort -u | grep -v -x -- '--help')
+help_flags=$(printf '%s\n' "$help_text" | grep -oE -- '--[a-z][a-z0-9-]*' | sort -u | grep -v -x -- '--help')
+
+for f in $doc_flags; do
+  if ! printf '%s\n' "$help_flags" | grep -qx -- "$f"; then
+    echo "drift: $DOC documents '$f' but 'amalgamd --help' does not list it"
+    fail=1
+  fi
+done
+for f in $help_flags; do
+  if ! printf '%s\n' "$doc_flags" | grep -qx -- "$f"; then
+    echo "drift: 'amalgamd --help' lists '$f' but $DOC does not document it"
+    fail=1
+  fi
+done
+
+# --- 2. Replay every ```jsonl example block --------------------------
+tmp_root=$(mktemp -d)
+trap 'rm -rf "$tmp_root"' EXIT
+
+block=0
+in_block=0
+lines_file="$tmp_root/lines"
+while IFS= read -r line; do
+  if [ "$in_block" -eq 0 ] && [ "$line" = '```jsonl' ]; then
+    in_block=1
+    : > "$lines_file"
+    continue
+  fi
+  if [ "$in_block" -eq 1 ] && [ "$line" = '```' ]; then
+    in_block=0
+    block=$((block + 1))
+    n_req=$(wc -l < "$lines_file")
+    out=$("$AMALGAMD" --store-dir "$tmp_root/store$block" < "$lines_file" 2>/dev/null)
+    status=$?
+    n_ok=$(printf '%s\n' "$out" | grep -c '"ok":true')
+    if [ "$status" -ne 0 ] || [ "$n_ok" -ne "$n_req" ]; then
+      echo "drift: jsonl block #$block: $n_req request lines," \
+           "$n_ok ok responses, exit $status"
+      sed 's/^/  request:  /' "$lines_file"
+      printf '%s\n' "$out" | sed 's/^/  response: /'
+      fail=1
+    fi
+    continue
+  fi
+  if [ "$in_block" -eq 1 ]; then
+    printf '%s\n' "$line" >> "$lines_file"
+  fi
+done < "$DOC"
+
+if [ "$block" -eq 0 ]; then
+  echo "drift: no \`\`\`jsonl example blocks found in $DOC"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "ok: $block jsonl blocks replayed, flags in sync with --help"
+fi
+exit $fail

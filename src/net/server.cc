@@ -206,6 +206,7 @@ void DaemonServer::AcceptAll(int listen_fd) {
     Session::Options sopts;
     sopts.id = conn.id;
     sopts.max_inflight = options_.max_inflight_per_conn;
+    sopts.maintenance = options_.maintenance;
     conn.session = std::make_unique<Session>(service_, sopts, std::move(emit),
                                              &counters_);
     counters_.opened.fetch_add(1, std::memory_order_relaxed);

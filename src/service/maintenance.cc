@@ -1,0 +1,223 @@
+#include "service/maintenance.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "service/protocol.h"
+#include "solver/store.h"
+
+namespace amalgam {
+
+MaintenanceLoop::MaintenanceLoop(QueryService& service,
+                                 MaintenanceOptions options)
+    : service_(service), options_(std::move(options)) {
+  // Seed the access buffer from the persisted log, so a daemon that never
+  // sees traffic does not clobber its predecessor's log on the first
+  // flush, and Prewarm() has lines to replay.
+  if (options_.store_dir.empty() || options_.access_log_capacity == 0) return;
+  std::ifstream in(AccessLogPath());
+  std::string line;
+  while (in && access_lines_.size() < options_.access_log_capacity &&
+         std::getline(in, line)) {
+    if (line.empty() || access_index_.count(line)) continue;
+    access_lines_.push_back(line);
+    access_index_.emplace(line, std::prev(access_lines_.end()));
+  }
+}
+
+MaintenanceLoop::~MaintenanceLoop() { Stop(); }
+
+std::string MaintenanceLoop::AccessLogPath() const {
+  return (std::filesystem::path(options_.store_dir) / "access.jsonl")
+      .string();
+}
+
+void MaintenanceLoop::Start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (started_ || options_.interval_ms <= 0) return;
+  started_ = true;
+  thread_ = std::thread([this] { ThreadLoop(); });
+}
+
+void MaintenanceLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    stop_ = true;
+  }
+  thread_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  FlushAccessLog();
+}
+
+void MaintenanceLoop::ThreadLoop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stop_) {
+    if (thread_cv_.wait_for(lock,
+                            std::chrono::milliseconds(options_.interval_ms),
+                            [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    RunOnce();
+    lock.lock();
+  }
+}
+
+MaintenancePassResult MaintenanceLoop::RunOnce() {
+  std::lock_guard<std::mutex> pass_lock(pass_mutex_);
+  MaintenancePassResult result;
+  FlushAccessLog();
+  const std::shared_ptr<const GraphStore> store = service_.cache().store();
+
+  // Complete partials: every remembered recipe whose graph stopped short
+  // of complete, resumed through the ordinary submit path (eager, no
+  // witness) so it occupies the key's resume flight — a live query either
+  // joins this build or this build joins it, never a duplicate sweep.
+  //
+  // The in-memory recipe registry is empty on a fresh daemon, so the
+  // persisted access log doubles as a recipe source: each logged query
+  // line replays into a (key, request) pair. Registry recipes come first
+  // (they are fresher); the completeness re-check per key makes the two
+  // sources a natural dedupe.
+  std::vector<std::pair<std::string, QueryRequest>> recipes =
+      service_.SnapshotRecipes();
+  {
+    std::unordered_set<std::string> known;
+    known.reserve(recipes.size());
+    for (const auto& [key, recipe] : recipes) known.insert(key);
+    std::vector<std::string> lines;
+    {
+      std::lock_guard<std::mutex> lock(access_mutex_);
+      lines.assign(access_lines_.begin(), access_lines_.end());
+    }
+    for (const std::string& line : lines) {
+      const ProtocolRequest parsed = ParseRequestLine(line);
+      if (!parsed.error.empty() || parsed.op != ProtocolRequest::Op::kQuery) {
+        continue;
+      }
+      const std::string key = service_.GraphKeyFor(parsed.query);
+      if (key.empty() || !known.insert(key).second) continue;
+      recipes.emplace_back(key, parsed.query);
+    }
+  }
+  for (auto& [key, recipe] : recipes) {
+    if (service_.Pending() > 0) break;  // live traffic: the pool is not idle
+    const std::shared_ptr<const SubTransitionGraph> cached =
+        service_.cache().Peek(key);
+    if (cached != nullptr && cached->complete()) continue;
+    if (cached == nullptr) {
+      // Nothing in memory: only a *partial* persisted entry needs work
+      // (a complete one is prewarm's business, not completion's).
+      if (!store) continue;
+      const GraphStore::KeyProgress progress = store->PeekKey(key);
+      if (!progress.found || progress.cursor.phase == kCursorPhaseComplete) {
+        continue;
+      }
+    }
+    QueryRequest request = recipe;
+    request.strategy = SolveStrategy::kEager;
+    request.build_witness = false;
+    try {
+      const QueryResult completed = service_.Submit(std::move(request)).get();
+      if (completed.ok) ++result.partials_completed;
+    } catch (const std::exception&) {
+      break;  // service shutting down underneath the pass
+    }
+  }
+
+  // Repack when enough loose files accumulated — or whenever the pack's
+  // index is stale/missing (a crash between the two publication renames):
+  // republishing a fresh generation is exactly the repair.
+  if (store && options_.repack_min_loose > 0 &&
+      (store->LooseFileCount() >= options_.repack_min_loose ||
+       store->PackNeedsRepair())) {
+    if (store->Repack().performed) ++result.repacks;
+  }
+
+  if (options_.store_max_bytes > 0 || options_.store_max_files > 0) {
+    result.sweep_files_removed =
+        service_
+            .SweepStore(options_.store_max_bytes, options_.store_max_files)
+            .files_removed;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.passes;
+    stats_.partials_completed += result.partials_completed;
+    stats_.repacks += result.repacks;
+  }
+  return result;
+}
+
+std::uint64_t MaintenanceLoop::Prewarm() {
+  std::vector<std::string> lines;
+  {
+    std::lock_guard<std::mutex> lock(access_mutex_);
+    lines.assign(access_lines_.begin(), access_lines_.end());
+  }
+  std::uint64_t loads = 0;
+  for (const std::string& line : lines) {
+    const ProtocolRequest parsed = ParseRequestLine(line);
+    if (!parsed.error.empty() || parsed.op != ProtocolRequest::Op::kQuery) {
+      continue;
+    }
+    if (service_.Prewarm(parsed.query)) ++loads;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.prewarm_loads += loads;
+  return loads;
+}
+
+void MaintenanceLoop::RecordAccess(const std::string& line) {
+  if (options_.store_dir.empty() || options_.access_log_capacity == 0 ||
+      line.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(access_mutex_);
+  auto it = access_index_.find(line);
+  if (it != access_index_.end()) {
+    // Re-accessed: move to the warm end so eviction drops colder lines.
+    access_lines_.splice(access_lines_.end(), access_lines_, it->second);
+  } else {
+    if (access_lines_.size() >= options_.access_log_capacity) {
+      access_index_.erase(access_lines_.front());
+      access_lines_.pop_front();
+    }
+    access_lines_.push_back(line);
+    access_index_.emplace(line, std::prev(access_lines_.end()));
+  }
+  access_dirty_ = true;
+}
+
+void MaintenanceLoop::FlushAccessLog() {
+  if (options_.store_dir.empty()) return;
+  std::vector<std::string> lines;
+  {
+    std::lock_guard<std::mutex> lock(access_mutex_);
+    if (!access_dirty_) return;
+    lines.assign(access_lines_.begin(), access_lines_.end());
+    access_dirty_ = false;
+  }
+  const std::string path = AccessLogPath();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    for (const std::string& line : lines) out << line << '\n';
+    if (!out.good()) return;  // disk trouble: keep the old log
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+}
+
+MaintenanceStats MaintenanceLoop::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace amalgam

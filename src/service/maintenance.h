@@ -1,0 +1,149 @@
+// The daemon's background self-maintenance: the store tier keeps itself
+// finished, folded and warm without waiting for queries to do it.
+//
+// A MaintenanceLoop owns one background thread (optional — interval 0
+// means passes run only on demand, via the {"op":"maintain"} admin op or
+// RunOnce() directly) over a QueryService. Each pass does, in order:
+//
+//   1. *Complete partials.* Every recipe the service remembers
+//      (QueryService::SnapshotRecipes) whose graph is partial — in the
+//      memory tier or persisted in the store — is resubmitted with the
+//      strategy forced to eager and witness reconstruction off. The
+//      resubmission goes through the ordinary Submit path, so it rides
+//      the same resume-flight single-flight table as live traffic: a
+//      concurrent query over the key either coalesces with the
+//      maintenance build or the maintenance build joins it — never two
+//      racing suffix sweeps. Partials are only attacked while the worker
+//      pool is idle (Pending() == 0); the first sign of live traffic ends
+//      the completion phase of the pass.
+//   2. *Repack.* When the loose tier has accumulated at least
+//      `repack_min_loose` files, GraphStore::Repack folds it into a fresh
+//      pack generation (see solver/store.h and docs/STORE_FORMAT.md).
+//   3. *Sweep.* With disk caps configured, GraphStore::Sweep enforces
+//      them on a schedule instead of only after writing queries.
+//
+// The loop also owns the *access log*: RecordAccess(line) buffers the raw
+// JSONL query lines clients send (bounded LRU of unique lines, memory
+// only — the transport thread never touches disk), and each pass persists
+// them to <store_dir>/access.jsonl via temp+rename. On startup, Prewarm()
+// replays the persisted log through the protocol parser and asks the
+// service to promote each request's graph from the store into the memory
+// tier — a restarted daemon answers its first real queries from a warm
+// cache. The log survives daemons that crash between passes only up to
+// the last flush; prewarm is an optimization, never a correctness
+// dependency.
+#ifndef AMALGAM_SERVICE_MAINTENANCE_H_
+#define AMALGAM_SERVICE_MAINTENANCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "service/service.h"
+
+namespace amalgam {
+
+struct MaintenanceOptions {
+  /// The store directory (the access log lives beside the graph files).
+  /// Empty disables access logging and prewarm.
+  std::string store_dir;
+  /// Background pass cadence; 0 = no thread, passes only via RunOnce().
+  int interval_ms = 0;
+  /// Disk caps for the scheduled sweep (0/0 = no scheduled sweep).
+  std::uint64_t store_max_bytes = 0;
+  std::uint64_t store_max_files = 0;
+  /// Repack when the loose tier holds at least this many files. 0
+  /// disables scheduled repack (the admin op still triggers a pass, and a
+  /// pass with 0 never repacks).
+  std::uint64_t repack_min_loose = 8;
+  /// Unique request lines the access log retains (LRU by last access).
+  std::size_t access_log_capacity = 1024;
+};
+
+/// What one maintenance pass did.
+struct MaintenancePassResult {
+  std::uint64_t partials_completed = 0;
+  std::uint64_t repacks = 0;
+  std::uint64_t sweep_files_removed = 0;
+};
+
+/// Cumulative counters since construction (surfaced by the stats op).
+struct MaintenanceStats {
+  std::uint64_t passes = 0;
+  std::uint64_t partials_completed = 0;
+  std::uint64_t prewarm_loads = 0;
+  std::uint64_t repacks = 0;
+};
+
+class MaintenanceLoop {
+ public:
+  /// The service must outlive the loop. The loop does not start running
+  /// until Start().
+  MaintenanceLoop(QueryService& service, MaintenanceOptions options);
+  ~MaintenanceLoop();  // Stop()
+
+  MaintenanceLoop(const MaintenanceLoop&) = delete;
+  MaintenanceLoop& operator=(const MaintenanceLoop&) = delete;
+
+  /// Starts the background thread when interval_ms > 0; otherwise a
+  /// no-op. Idempotent. Call Prewarm() first if warm startup is wanted.
+  void Start();
+
+  /// Stops and joins the background thread and flushes the access log.
+  /// Idempotent; implied by the destructor. Call before shutting the
+  /// service down (a pass mid-flight may be submitting to it).
+  void Stop();
+
+  /// One synchronous maintenance pass (also what the background thread
+  /// and the {"op":"maintain"} admin op run). Passes are serialized —
+  /// concurrent callers queue on an internal mutex.
+  MaintenancePassResult RunOnce();
+
+  /// Replays the persisted access log: every parsable query line's graph
+  /// is promoted from the store into the memory tier. Returns the number
+  /// of graphs now warm. Counted into stats as prewarm_loads.
+  std::uint64_t Prewarm();
+
+  /// Remembers a client's raw query line for the access log. Cheap and
+  /// nonblocking (memory only); call from transport threads freely.
+  void RecordAccess(const std::string& line);
+
+  MaintenanceStats GetStats() const;
+
+ private:
+  void ThreadLoop();
+  /// Persists the access buffer to <store_dir>/access.jsonl (temp+rename;
+  /// no-op when unchanged or without a store_dir).
+  void FlushAccessLog();
+  std::string AccessLogPath() const;
+
+  QueryService& service_;
+  const MaintenanceOptions options_;
+
+  // The access buffer: unique lines, least-recently-accessed first, so
+  // capacity eviction drops the coldest request.
+  mutable std::mutex access_mutex_;
+  std::list<std::string> access_lines_;
+  std::unordered_map<std::string, std::list<std::string>::iterator>
+      access_index_;
+  bool access_dirty_ = false;
+
+  std::mutex pass_mutex_;  // serializes RunOnce bodies
+
+  mutable std::mutex stats_mutex_;
+  MaintenanceStats stats_;
+
+  std::mutex thread_mutex_;
+  std::condition_variable thread_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_SERVICE_MAINTENANCE_H_

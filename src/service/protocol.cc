@@ -419,13 +419,16 @@ ProtocolRequest ParseRequestLine(const std::string& line) {
           std::max<std::int64_t>(0, json->GetInt("max_bytes", 0)));
       request.max_files = static_cast<std::uint64_t>(
           std::max<std::int64_t>(0, json->GetInt("max_files", 0)));
+    } else if (op == "maintain") {
+      request.op = ProtocolRequest::Op::kMaintain;
     } else if (op == "drain") {
       request.op = ProtocolRequest::Op::kDrain;
     } else if (op == "shutdown") {
       request.op = ProtocolRequest::Op::kShutdown;
     } else {
-      throw ProtocolError("unknown op \"" + op +
-                          "\" (known: query, stats, sweep, drain, shutdown)");
+      throw ProtocolError(
+          "unknown op \"" + op +
+          "\" (known: query, stats, sweep, maintain, drain, shutdown)");
     }
   } catch (const std::exception& e) {
     request.error = e.what();
@@ -470,6 +473,20 @@ std::string FormatStatsResponse(const ProtocolRequest& request,
   AppendField(out, "store_loads", stats.store_loads);
   AppendField(out, "store_load_failures", stats.store_load_failures);
   AppendField(out, "store_writes", stats.store_writes);
+  AppendField(out, "store_loose_loads", stats.store_loose_loads);
+  AppendField(out, "store_pack_loads", stats.store_pack_loads);
+  AppendField(out, "store_save_skips", stats.store_save_skips);
+  AppendField(out, "store_sweeps", stats.store_sweeps);
+  AppendField(out, "store_sweep_files_removed",
+              stats.store_sweep_files_removed);
+  AppendField(out, "store_sweep_bytes_removed",
+              stats.store_sweep_bytes_removed);
+  AppendField(out, "store_repacks", stats.store_repacks);
+  AppendField(out, "store_pack_entries", stats.store_pack_entries);
+  AppendField(out, "maintenance_passes", stats.maintenance_passes);
+  AppendField(out, "partials_completed", stats.partials_completed);
+  AppendField(out, "prewarm_loads", stats.prewarm_loads);
+  AppendField(out, "repacks", stats.repacks);
   AppendField(out, "members_enumerated", stats.members_enumerated);
   AppendField(out, "members_generated", stats.members_generated);
   AppendField(out, "p50_latency_ms", stats.p50_latency_ms);
@@ -494,6 +511,23 @@ std::string FormatSweepResponse(const ProtocolRequest& request,
   AppendField(out, "bytes_removed", result.bytes_removed);
   AppendField(out, "files_kept", result.files_kept);
   AppendField(out, "bytes_kept", result.bytes_kept);
+  return CloseObject(std::move(out));
+}
+
+std::string FormatMaintainResponse(const ProtocolRequest& request,
+                                   const MaintenancePassResult& pass,
+                                   const MaintenanceStats& stats) {
+  std::string out = ResponseHead(request);
+  AppendField(out, "ok", true);
+  out += "\"op\":\"maintain\",";
+  // This pass's work, then the loop's lifetime counters.
+  AppendField(out, "partials_completed", pass.partials_completed);
+  AppendField(out, "repacks", pass.repacks);
+  AppendField(out, "sweep_files_removed", pass.sweep_files_removed);
+  AppendField(out, "total_passes", stats.passes);
+  AppendField(out, "total_partials_completed", stats.partials_completed);
+  AppendField(out, "total_prewarm_loads", stats.prewarm_loads);
+  AppendField(out, "total_repacks", stats.repacks);
   return CloseObject(std::move(out));
 }
 

@@ -25,7 +25,9 @@
 // already attached elsewhere).
 //
 // *Admin* lines select an op instead: {"op":"stats"}, {"op":"sweep",
-// "max_bytes":N,"max_files":N}, {"op":"drain"}, {"op":"shutdown"}.
+// "max_bytes":N,"max_files":N}, {"op":"maintain"} (one synchronous
+// maintenance pass: complete partials, repack, sweep — needs a daemon
+// with a store attached), {"op":"drain"}, {"op":"shutdown"}.
 //
 // Responses echo the request's "id" verbatim and always carry "ok";
 // failures report {"ok":false,"error":"..."} and never kill the loop.
@@ -39,13 +41,14 @@
 #include <cstdint>
 #include <string>
 
+#include "service/maintenance.h"
 #include "service/query.h"
 #include "solver/store.h"
 
 namespace amalgam {
 
 struct ProtocolRequest {
-  enum class Op { kQuery, kStats, kSweep, kDrain, kShutdown };
+  enum class Op { kQuery, kStats, kSweep, kMaintain, kDrain, kShutdown };
 
   Op op = Op::kQuery;
   /// The request's "id" member, re-serialized for echoing ("" = absent).
@@ -70,6 +73,10 @@ std::string FormatStatsResponse(const ProtocolRequest& request,
                                 const ServiceStats& stats);
 std::string FormatSweepResponse(const ProtocolRequest& request,
                                 const StoreSweepResult& result);
+/// One pass's work plus the loop's cumulative counters.
+std::string FormatMaintainResponse(const ProtocolRequest& request,
+                                   const MaintenancePassResult& pass,
+                                   const MaintenanceStats& stats);
 std::string FormatDrainResponse(const ProtocolRequest& request,
                                 const ServiceStats& stats);
 std::string FormatShutdownResponse(const ProtocolRequest& request,

@@ -104,6 +104,19 @@ struct ServiceStats {
   std::uint64_t store_load_failures = 0;
   std::uint64_t store_writes = 0;
 
+  // Disk-store tier counters (GraphStore::counters(); all zero without an
+  // attached store). loose/pack loads split store_loads by tier;
+  // save_skips are writes refused by the progress guard; the sweep and
+  // repack counters cover both scheduled (maintenance) and admin-op runs.
+  std::uint64_t store_loose_loads = 0;
+  std::uint64_t store_pack_loads = 0;
+  std::uint64_t store_save_skips = 0;
+  std::uint64_t store_sweeps = 0;
+  std::uint64_t store_sweep_files_removed = 0;
+  std::uint64_t store_sweep_bytes_removed = 0;
+  std::uint64_t store_repacks = 0;
+  std::uint64_t store_pack_entries = 0;  // entries in the current pack index
+
   // Backend enumeration totals over completed queries: members delivered
   // to the guard sweep vs. members the backends materialized. The gap is
   // the work native cursors saved (cache-resumed and sharded builds skip
@@ -125,6 +138,13 @@ struct ServiceStats {
   std::uint64_t conn_id = 0;              // the asking connection
   std::uint64_t conn_requests = 0;        // lines it has sent
   std::uint64_t conn_rejected_overload = 0;  // its refused requests
+
+  // Maintenance-loop counters (service/maintenance.h), filled in by the
+  // session layer when the daemon runs one; all zero otherwise.
+  std::uint64_t maintenance_passes = 0;
+  std::uint64_t partials_completed = 0;  // partial entries driven complete
+  std::uint64_t prewarm_loads = 0;       // graphs promoted by startup prewarm
+  std::uint64_t repacks = 0;             // pack generations the loop published
 };
 
 }  // namespace amalgam

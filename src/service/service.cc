@@ -26,55 +26,72 @@ std::vector<FormulaRef> RuleGuards(const DdsSystem& system) {
   return guards;
 }
 
-// The graph cache key this request's front door will query under — built
-// the same way the front door builds it (same backend construction, same
-// guard order), so the single-flight table and the engine agree on what
-// "the same graph" means. This deliberately mirrors each front door's
+// The backend, guard list, register count and cache key this request's
+// front door will query under — built the same way the front door builds
+// them (same backend construction, same guard order), so the single-flight
+// table, the prewarm path and the engine agree on what "the same graph"
+// means. The backend is owned (word/tree run classes are constructed
+// transiently here; they retain the request's nfa/automaton, which the
+// request keeps alive). This deliberately mirrors each front door's
 // derivation; if one of them ever changes its guard flattening or backend
 // construction, service_test's SingleFlightKeysAgreeWithEngineKeys
 // (exactly one cache miss per unique request) fails.
-std::string ComputeGraphKey(const QueryRequest& request) {
+struct GraphContext {
+  std::shared_ptr<const SolverBackend> backend;
+  std::vector<FormulaRef> guards;
+  int k = 0;
+  std::string key;
+};
+
+GraphContext ComputeGraphContext(const QueryRequest& request) {
+  GraphContext ctx;
   switch (request.kind) {
     case QueryKind::kSystem: {
       if (!request.system || !request.cls) {
         throw std::invalid_argument("system query needs `system` and `cls`");
       }
-      return GraphCache::Key(*request.cls, request.system->num_registers(),
-                             RuleGuards(*request.system));
+      ctx.backend = request.cls;
+      ctx.guards = RuleGuards(*request.system);
+      ctx.k = request.system->num_registers();
+      break;
     }
     case QueryKind::kWord: {
       if (!request.system || !request.nfa) {
         throw std::invalid_argument("word query needs `system` and `nfa`");
       }
-      WordRunClass cls(*request.nfa);
-      return GraphCache::Key(cls, request.system->num_registers(),
-                             RuleGuards(*request.system));
+      ctx.backend = std::make_shared<WordRunClass>(*request.nfa);
+      ctx.guards = RuleGuards(*request.system);
+      ctx.k = request.system->num_registers();
+      break;
     }
     case QueryKind::kTree: {
       if (!request.system || !request.automaton) {
         throw std::invalid_argument("tree query needs `system` and `automaton`");
       }
-      TreeRunClass cls(request.automaton.get(), request.extra_pattern_cap);
-      return GraphCache::Key(cls, request.system->num_registers(),
-                             RuleGuards(*request.system));
+      ctx.backend = std::make_shared<TreeRunClass>(request.automaton.get(),
+                                                   request.extra_pattern_cap);
+      ctx.guards = RuleGuards(*request.system);
+      ctx.k = request.system->num_registers();
+      break;
     }
     case QueryKind::kBranching: {
       if (!request.branching || !request.cls) {
         throw std::invalid_argument(
             "branching query needs `branching` and `cls`");
       }
-      std::vector<FormulaRef> guards;
+      ctx.backend = request.cls;
       for (const BranchingRule& rule : request.branching->rules()) {
         for (const Branch& branch : rule.branches) {
-          guards.push_back(branch.guard);
+          ctx.guards.push_back(branch.guard);
         }
       }
-      return GraphCache::Key(*request.cls,
-                             request.branching->skeleton().num_registers(),
-                             guards);
+      ctx.k = request.branching->skeleton().num_registers();
+      break;
     }
   }
-  throw std::invalid_argument("unknown query kind");
+  if (!ctx.backend) throw std::invalid_argument("unknown query kind");
+  ctx.key = GraphCache::Key(*ctx.backend, ctx.k, ctx.guards);
+  return ctx;
 }
 
 }  // namespace
@@ -97,9 +114,54 @@ QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::ComputeTaskKey(Task& task) {
   try {
-    task.graph_key = ComputeGraphKey(task.request);
+    task.graph_key = ComputeGraphContext(task.request).key;
   } catch (const std::exception& e) {
     task.setup_error = e.what();
+  }
+}
+
+void QueryService::RecordRecipe(const std::string& key,
+                                const QueryRequest& request) {
+  std::lock_guard<std::mutex> lock(recipes_mutex_);
+  auto it = recipes_.find(key);
+  if (it != recipes_.end()) {
+    it->second = request;  // freshen the inputs; keep the FIFO position
+    return;
+  }
+  if (recipes_.size() >= kMaxRecipes) {
+    recipes_.erase(recipe_order_.front());
+    recipe_order_.pop_front();
+  }
+  recipe_order_.push_back(key);
+  recipes_.emplace(key, request);
+}
+
+std::vector<std::pair<std::string, QueryRequest>>
+QueryService::SnapshotRecipes() const {
+  std::lock_guard<std::mutex> lock(recipes_mutex_);
+  std::vector<std::pair<std::string, QueryRequest>> out;
+  out.reserve(recipe_order_.size());
+  for (const std::string& key : recipe_order_) {
+    out.emplace_back(key, recipes_.at(key));
+  }
+  return out;
+}
+
+std::string QueryService::GraphKeyFor(const QueryRequest& request) const {
+  try {
+    return ComputeGraphContext(request).key;
+  } catch (const std::exception&) {
+    return std::string();
+  }
+}
+
+bool QueryService::Prewarm(const QueryRequest& request) {
+  try {
+    const GraphContext ctx = ComputeGraphContext(request);
+    return cache_.Lookup(ctx.key, ctx.backend->schema(), ctx.guards,
+                         ctx.k) != nullptr;
+  } catch (const std::exception&) {
+    return false;
   }
 }
 
@@ -147,6 +209,7 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
   task.request = std::move(request);
   std::future<QueryResult> future = task.promise.get_future();
   ComputeTaskKey(task);  // backend construction: keep it off the lock
+  if (task.setup_error.empty()) RecordRecipe(task.graph_key, task.request);
   {
     // Registration and enqueue are atomic together: a joiner must never
     // precede its leader in the queue, or a one-worker pool would pick up
@@ -174,6 +237,7 @@ std::vector<std::future<QueryResult>> QueryService::SubmitBatch(
     task.request = std::move(request);
     futures.push_back(task.promise.get_future());
     ComputeTaskKey(task);  // per-request backend construction, unlocked
+    if (task.setup_error.empty()) RecordRecipe(task.graph_key, task.request);
     tasks.push_back(std::move(task));
   }
   {
@@ -204,12 +268,19 @@ void QueryService::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    Execute(task);
+    QueryResult result = Execute(task);
+    // Decrement before resolving the promise: an observer that synced on
+    // the future (a session writer emitting the response, the maintenance
+    // loop's idleness probe) must never read this query as still
+    // outstanding afterwards. Drain() may consequently return a moment
+    // before the final set_value lands; callers that need the result
+    // still block in future.get(), so nothing observes a gap.
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       --outstanding_;
     }
     drained_cv_.notify_all();
+    task.promise.set_value(std::move(result));
   }
 }
 
@@ -260,7 +331,7 @@ QueryResult QueryService::RunQuery(const QueryRequest& request) {
   return result;
 }
 
-void QueryService::Execute(Task& task) {
+QueryResult QueryService::Execute(Task& task) {
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t store_writes_before = cache_.store_writes();
   QueryResult result;
@@ -321,7 +392,12 @@ void QueryService::Execute(Task& task) {
     members_enumerated_ += result.stats.members_enumerated;
     members_generated_ += result.stats.members_generated;
   }
-  task.promise.set_value(std::move(result));
+  return result;
+}
+
+std::uint64_t QueryService::Pending() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return outstanding_;
 }
 
 void QueryService::Drain() {
@@ -392,6 +468,17 @@ ServiceStats QueryService::Stats() const {
   stats.store_loads = cache_.store_loads();
   stats.store_load_failures = cache_.store_load_failures();
   stats.store_writes = cache_.store_writes();
+  if (const std::shared_ptr<const GraphStore> store = cache_.store()) {
+    const StoreCounters counters = store->counters();
+    stats.store_loose_loads = counters.loose_loads;
+    stats.store_pack_loads = counters.pack_loads;
+    stats.store_save_skips = counters.save_skips;
+    stats.store_sweeps = counters.sweeps;
+    stats.store_sweep_files_removed = counters.sweep_files_removed;
+    stats.store_sweep_bytes_removed = counters.sweep_bytes_removed;
+    stats.store_repacks = counters.repacks;
+    stats.store_pack_entries = store->PackEntryCount();
+  }
   if (!samples.empty()) {
     auto percentile = [&samples](double p) {
       const std::size_t idx = static_cast<std::size_t>(

@@ -49,6 +49,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "service/query.h"
@@ -106,6 +107,31 @@ class QueryService {
   /// are snapshotted under the stats lock).
   ServiceStats Stats() const;
 
+  /// Queries accepted but not yet finished — the maintenance loop's
+  /// cheap idleness probe (Stats() copies the latency ring; this doesn't).
+  std::uint64_t Pending() const;
+
+  /// The (graph key → request) recipes of recently submitted queries, a
+  /// bounded FIFO snapshot. A store entry deliberately persists no
+  /// formulas, so resuming one needs the guards/class only a request can
+  /// supply — the maintenance loop replays these recipes (strategy forced
+  /// to eager) to drive partial persisted graphs to completion.
+  std::vector<std::pair<std::string, QueryRequest>> SnapshotRecipes() const;
+
+  /// Promotes the persisted graph for `request`'s key into the memory
+  /// tier without running the query: builds the same backend/guards the
+  /// front door would and pulls the key through the context-ful cache
+  /// lookup (disk load + promote). Returns true when a graph (complete or
+  /// partial) is now cached in memory; false on a store miss or an
+  /// invalid request. Never builds anything.
+  bool Prewarm(const QueryRequest& request);
+
+  /// The cache key `request` would build under, or "" when the request
+  /// cannot produce one (invalid inputs). Lets the maintenance loop turn
+  /// replayed access-log lines into (key, recipe) pairs without going
+  /// through Submit.
+  std::string GraphKeyFor(const QueryRequest& request) const;
+
   /// The shared cache (for tests and admin paths; thread-safe itself).
   GraphCache& cache() { return cache_; }
   /// Attaches the disk tier at `dir` if the service has none yet (a
@@ -158,6 +184,10 @@ class QueryService {
   /// so it runs before any lock is taken). Fills graph_key/setup_error.
   static void ComputeTaskKey(Task& task);
 
+  /// Remembers `request` as the recipe for `key` (bounded FIFO; see
+  /// SnapshotRecipes).
+  void RecordRecipe(const std::string& key, const QueryRequest& request);
+
   /// Registers the task in the single-flight table and assigns its role.
   /// Caller holds queue_mutex_ (registration must be atomic with the
   /// enqueue so a joiner can never precede its leader in the queue).
@@ -165,8 +195,11 @@ class QueryService {
 
   /// Runs one query end to end on a worker thread: waits on the join
   /// future (joiners), executes the front door against the shared cache,
-  /// resolves the flight (leaders) and the promise, and records stats.
-  void Execute(Task& task);
+  /// resolves the flight (leaders) and records stats. Returns the result
+  /// instead of resolving the promise itself so WorkerLoop can mark the
+  /// query no-longer-outstanding *before* the future resolves — Pending()
+  /// must never report a query whose response was already observed.
+  QueryResult Execute(Task& task);
 
   /// The front-door dispatch; throws on invalid requests.
   QueryResult RunQuery(const QueryRequest& request);
@@ -185,6 +218,15 @@ class QueryService {
 
   std::mutex flights_mutex_;
   std::unordered_map<std::string, Flight> flights_;
+
+  // The recipe registry: enough requests to re-derive any recently-queried
+  // key's build context. Bounded FIFO — at the cap the oldest recipe goes;
+  // requests hold their inputs by shared_ptr, so a recipe is a few
+  // refcounts, not a copy of the system.
+  static constexpr std::size_t kMaxRecipes = 1024;
+  mutable std::mutex recipes_mutex_;
+  std::unordered_map<std::string, QueryRequest> recipes_;
+  std::deque<std::string> recipe_order_;  // insertion order for eviction
 
   // Percentiles are computed over a bounded ring of the most recent
   // completions, so a long-lived service neither grows without bound nor

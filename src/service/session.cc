@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "service/maintenance.h"
 #include "service/protocol.h"
 
 namespace amalgam {
@@ -74,6 +75,13 @@ ServiceStats Session::SnapshotStats() const {
     stats.overload_rejections =
         counters_->overload_rejections.load(std::memory_order_relaxed);
   }
+  if (options_.maintenance != nullptr) {
+    const MaintenanceStats maintenance = options_.maintenance->GetStats();
+    stats.maintenance_passes = maintenance.passes;
+    stats.partials_completed = maintenance.partials_completed;
+    stats.prewarm_loads = maintenance.prewarm_loads;
+    stats.repacks = maintenance.repacks;
+  }
   return stats;
 }
 
@@ -114,6 +122,11 @@ Session::LineOutcome Session::HandleLine(const std::string& line) {
         PushRendered(FormatErrorResponse(request, e.what()));
         return LineOutcome::kContinue;
       }
+      // Accepted: the raw line joins the access log so a restarted daemon
+      // can prewarm this query's graph.
+      if (options_.maintenance != nullptr) {
+        options_.maintenance->RecordAccess(line);
+      }
       // `request` keeps its id for the echo; the query inputs moved into
       // the service.
       Push(Item{[request = std::move(request), future] {
@@ -136,6 +149,24 @@ Session::LineOutcome Session::HandleLine(const std::string& line) {
         return FormatSweepResponse(
             request, service_.SweepStore(request.max_bytes,
                                          request.max_files));
+      }});
+      return LineOutcome::kContinue;
+    case ProtocolRequest::Op::kMaintain:
+      if (options_.maintenance == nullptr) {
+        PushRendered(FormatErrorResponse(
+            request,
+            "this daemon runs no maintenance loop (start amalgamd with "
+            "--store-dir to enable {\"op\":\"maintain\"})",
+            "no_maintenance"));
+        return LineOutcome::kContinue;
+      }
+      // Rendered on the writer thread: the pass runs after every earlier
+      // response on this connection, and the FIFO keeps later ones behind
+      // it — slow maintenance never reorders a client's stream.
+      Push(Item{[this, request = std::move(request)] {
+        const MaintenancePassResult pass = options_.maintenance->RunOnce();
+        return FormatMaintainResponse(request, pass,
+                                      options_.maintenance->GetStats());
       }});
       return LineOutcome::kContinue;
     case ProtocolRequest::Op::kDrain:

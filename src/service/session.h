@@ -38,6 +38,8 @@
 
 namespace amalgam {
 
+class MaintenanceLoop;
+
 /// Transport-wide counters shared by every Session of one daemon (plain
 /// atomics: the sessions' writer threads, the event loop and the stats
 /// path all touch them concurrently).
@@ -56,6 +58,11 @@ class Session {
     /// but not yet emitted) before new query lines are rejected with
     /// error_code "overloaded". 0 = unbounded.
     int max_inflight = 0;
+    /// The daemon's maintenance loop (nullptr when it runs none): accepted
+    /// query lines are recorded into its access log, the stats op reports
+    /// its counters, and {"op":"maintain"} triggers a pass. Must outlive
+    /// the session.
+    MaintenanceLoop* maintenance = nullptr;
   };
 
   /// Receives one complete response line (no terminator), called from the

@@ -73,6 +73,11 @@ class GraphCache {
   /// entries remain loadable from disk.
   void AttachStore(const std::string& dir);
   bool has_store() const;
+  /// The attached disk-tier handle (nullptr without one). The handle is
+  /// internally synchronized; callers may run store I/O on it directly
+  /// (the maintenance loop peeks progress and repacks through it, the
+  /// stats path reads its counters).
+  std::shared_ptr<const GraphStore> store() const { return StoreSnapshot(); }
 
   /// The cached graph for `key` from the memory tier only, or nullptr.
   /// Counts a hit/miss; a hit freshens the entry's eviction rank.

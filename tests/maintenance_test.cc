@@ -1,0 +1,268 @@
+// Tests for the self-maintaining store tier: an idle maintenance pass —
+// with NO queries submitted to the daemon — must drive a partial
+// persisted entry to completion using recipes derived from the persisted
+// access log, fold the loose tier into the pack, and leave the entry
+// servable with zero enumeration; prewarm must promote persisted graphs
+// into the memory tier across a restart; the access log must stay
+// bounded, LRU-ordered, and survive flush/reload; and the {"op":"maintain"}
+// admin op must report the pass through the session layer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/maintenance.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "service/session.h"
+#include "solver/graph.h"
+#include "solver/store.h"
+
+namespace amalgam {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string MaintStoreDir(const std::string& name) {
+  const char* env = std::getenv("AMALGAM_STORE_TEST_DIR");
+  const fs::path base =
+      (env && *env) ? fs::path(env) : fs::path(::testing::TempDir());
+  const fs::path dir = base / ("maintenance_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// The canonical early-exiting query: reach_red over "all" is nonempty, so
+// the default on-the-fly strategy stops at the witness and persists a
+// *partial* graph — exactly what the maintenance loop exists to finish.
+const char kReachRedLine[] =
+    R"({"kind":"system","class":"all","system":"reach_red"})";
+
+TEST(MaintenanceTest, IdleLoopAloneCompletesAPartialStoreEntry) {
+  const std::string dir = MaintStoreDir("idle_completion");
+  const ProtocolRequest parsed = ParseRequestLine(kReachRedLine);
+  ASSERT_TRUE(parsed.error.empty()) << parsed.error;
+
+  std::string key;
+  // Daemon 1: one on-the-fly query early-exits at its witness; the
+  // partial graph hits disk and the access log records the line.
+  {
+    QueryService::Options options;
+    options.store_dir = dir;
+    QueryService service(options);
+    key = service.GraphKeyFor(parsed.query);
+    ASSERT_FALSE(key.empty());
+    QueryResult first = service.Submit(parsed.query).get();
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_TRUE(first.nonempty);
+
+    MaintenanceOptions mopts;
+    mopts.store_dir = dir;
+    MaintenanceLoop loop(service, mopts);
+    loop.RecordAccess(kReachRedLine);
+    loop.Stop();  // flushes access.jsonl
+    service.Shutdown();
+  }
+  {
+    GraphStore store(dir);
+    const GraphStore::KeyProgress before = store.PeekKey(key);
+    ASSERT_TRUE(before.found);
+    ASSERT_NE(before.cursor.phase, kCursorPhaseComplete)
+        << "the early-exited query must persist a *partial* entry";
+  }
+
+  // Daemon 2: NO queries. One maintenance pass — its recipes derived
+  // entirely from the persisted access log, since the in-memory recipe
+  // registry of a fresh daemon is empty — must complete the entry and
+  // fold it into the pack.
+  {
+    QueryService::Options options;
+    options.store_dir = dir;
+    QueryService service(options);
+    MaintenanceOptions mopts;
+    mopts.store_dir = dir;
+    mopts.repack_min_loose = 1;
+    MaintenanceLoop loop(service, mopts);
+    const MaintenancePassResult pass = loop.RunOnce();
+    EXPECT_EQ(pass.partials_completed, 1u);
+    EXPECT_EQ(pass.repacks, 1u);
+    const MaintenanceStats stats = loop.GetStats();
+    EXPECT_EQ(stats.passes, 1u);
+    EXPECT_EQ(stats.partials_completed, 1u);
+    service.Shutdown();
+  }
+  {
+    GraphStore store(dir);
+    const GraphStore::KeyProgress after = store.PeekKey(key);
+    ASSERT_TRUE(after.found);
+    EXPECT_EQ(after.cursor.phase, kCursorPhaseComplete);
+    EXPECT_EQ(store.PackEntryCount(), 1u);
+    EXPECT_EQ(store.LooseFileCount(), 0u);
+  }
+
+  // Daemon 3: prewarm promotes the completed graph into memory, so the
+  // query that originally built it is now answered with zero enumeration.
+  {
+    QueryService::Options options;
+    options.store_dir = dir;
+    QueryService service(options);
+    MaintenanceOptions mopts;
+    mopts.store_dir = dir;
+    MaintenanceLoop loop(service, mopts);
+    EXPECT_EQ(loop.Prewarm(), 1u);
+    EXPECT_EQ(loop.GetStats().prewarm_loads, 1u);
+    QueryResult served = service.Submit(parsed.query).get();
+    ASSERT_TRUE(served.ok) << served.error;
+    EXPECT_TRUE(served.stats.graph_from_cache);
+    EXPECT_EQ(served.stats.members_enumerated, 0u);
+    service.Shutdown();
+  }
+}
+
+TEST(MaintenanceTest, PassRepairsAStaleIndexEvenWithNoLooseFiles) {
+  // A crash between the two publication renames leaves a pack bound to a
+  // stale index and possibly zero loose files — below any loose-count
+  // repack threshold. The pass must still notice and repair it.
+  const std::string dir = MaintStoreDir("stale_index_repair");
+  const ProtocolRequest parsed = ParseRequestLine(kReachRedLine);
+  ASSERT_TRUE(parsed.error.empty()) << parsed.error;
+
+  QueryService::Options options;
+  options.store_dir = dir;
+  QueryService service(options);
+  QueryResult r = service.Submit(parsed.query).get();
+  ASSERT_TRUE(r.ok) << r.error;
+
+  const std::shared_ptr<const GraphStore> store = service.cache().store();
+  ASSERT_NE(store, nullptr);
+  store->Repack(RepackKillPoint::kBeforeIndexRename);  // the "crash"
+  // Fold away the loose file so only the unindexed pack remains.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".amg") fs::remove(entry.path());
+  }
+  ASSERT_TRUE(store->PackNeedsRepair());
+  ASSERT_EQ(store->LooseFileCount(), 0u);
+
+  MaintenanceOptions mopts;
+  mopts.store_dir = dir;
+  mopts.repack_min_loose = 8;  // loose count alone would never trigger
+  MaintenanceLoop loop(service, mopts);
+  const MaintenancePassResult pass = loop.RunOnce();
+  EXPECT_EQ(pass.repacks, 1u);
+  EXPECT_FALSE(store->PackNeedsRepair());
+  EXPECT_EQ(store->PackEntryCount(), 1u);
+  service.Shutdown();
+}
+
+TEST(MaintenanceTest, AccessLogIsBoundedPersistedAndLruOrdered) {
+  const std::string dir = MaintStoreDir("access_log");
+  QueryService::Options options;
+  options.store_dir = dir;
+  QueryService service(options);
+
+  MaintenanceOptions mopts;
+  mopts.store_dir = dir;
+  mopts.access_log_capacity = 4;
+  {
+    MaintenanceLoop loop(service, mopts);
+    for (int i = 0; i < 6; ++i) {
+      loop.RecordAccess("{\"probe\":" + std::to_string(i) + "}");
+    }
+    loop.RecordAccess("{\"probe\":2}");  // re-access: moves to the warm end
+    loop.Stop();
+  }
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(dir + "/access.jsonl");
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  // Capacity 4: probes 0 and 1 evicted; the re-accessed 2 survived and
+  // sits at the warm end.
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "{\"probe\":3}");
+  EXPECT_EQ(lines[1], "{\"probe\":4}");
+  EXPECT_EQ(lines[2], "{\"probe\":5}");
+  EXPECT_EQ(lines[3], "{\"probe\":2}");
+
+  // A fresh loop seeds from the file; with nothing new recorded, Stop()
+  // must not clobber it (the buffer is not dirty).
+  {
+    MaintenanceLoop loop(service, mopts);
+    loop.Stop();
+  }
+  std::ifstream in(dir + "/access.jsonl");
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) ++count;
+  EXPECT_EQ(count, 4u);
+  service.Shutdown();
+}
+
+TEST(MaintenanceTest, MaintainOpReportsThePassThroughTheSession) {
+  const std::string dir = MaintStoreDir("maintain_op");
+  QueryService::Options options;
+  options.store_dir = dir;
+  QueryService service(options);
+  MaintenanceOptions mopts;
+  mopts.store_dir = dir;
+  MaintenanceLoop loop(service, mopts);
+
+  std::mutex lines_mutex;
+  std::vector<std::string> lines;
+  {
+    Session::Options sopts;
+    sopts.id = 9;
+    sopts.maintenance = &loop;
+    Session session(service, sopts, [&](const std::string& line) {
+      std::lock_guard<std::mutex> lock(lines_mutex);
+      lines.push_back(line);
+    });
+    session.HandleLine(
+        R"({"id":1,"kind":"system","class":"all","system":"reach_red"})");
+    session.HandleLine(R"({"id":2,"op":"maintain"})");
+    session.Flush();
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"op\":\"maintain\""), std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[1].find("\"ok\":true"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("\"partials_completed\":1"), std::string::npos)
+      << "the accepted query line becomes a recipe; the op's pass must "
+         "complete the partial it left: "
+      << lines[1];
+  EXPECT_NE(lines[1].find("\"total_passes\":1"), std::string::npos)
+      << lines[1];
+  service.Shutdown();
+}
+
+TEST(MaintenanceTest, MaintainOpWithoutALoopFailsInBand) {
+  QueryService service;
+  std::mutex lines_mutex;
+  std::vector<std::string> lines;
+  {
+    Session::Options sopts;  // no maintenance loop attached
+    sopts.id = 3;
+    Session session(service, sopts, [&](const std::string& line) {
+      std::lock_guard<std::mutex> lock(lines_mutex);
+      lines.push_back(line);
+    });
+    session.HandleLine(R"({"id":1,"op":"maintain"})");
+    session.Flush();
+  }
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"ok\":false"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"error_code\":\"no_maintenance\""),
+            std::string::npos)
+      << lines[0];
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace amalgam

@@ -565,5 +565,237 @@ TEST(StoreTest, SolveOptionsSweepKnobCapsTheStore) {
   EXPECT_EQ(amg_files, 1u);
 }
 
+// One small complete graph the pack tests save under many synthetic keys:
+// repack needs volume, not variety, and the store validates entries by the
+// key they were saved under, not by what the graph "means".
+SubTransitionGraph BuildSmallCompleteGraph(const AllStructuresClass& all,
+                                           const DdsSystem& system) {
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  SubTransitionGraph graph(guards, system.num_registers());
+  SolveStats stats;
+  graph.BuildFull(all, stats);
+  return graph;
+}
+
+TEST(StoreTest, RepackFoldsAThousandKeysIntoByteIdenticalPackLoads) {
+  const std::string dir = StoreDir("repack_thousand");
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  const int k = system.num_registers();
+  SubTransitionGraph graph = BuildSmallCompleteGraph(all, system);
+
+  GraphStore store(dir);
+  constexpr std::uint64_t kKeys = 1000;
+  std::vector<std::string> keys;
+  keys.reserve(kKeys);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    keys.push_back("synthetic/" + std::to_string(i));
+    ASSERT_TRUE(store.Save(keys.back(), graph));
+  }
+  EXPECT_EQ(store.LooseFileCount(), kKeys);
+  EXPECT_EQ(store.PackEntryCount(), 0u);
+
+  const StoreRepackResult repack = store.Repack();
+  EXPECT_TRUE(repack.performed);
+  EXPECT_TRUE(repack.error.empty()) << repack.error;
+  EXPECT_EQ(repack.entries, kKeys);
+  EXPECT_EQ(repack.loose_folded, kKeys);
+  EXPECT_EQ(repack.loose_kept, 0u);
+  EXPECT_EQ(store.LooseFileCount(), 0u);
+  EXPECT_EQ(store.PackEntryCount(), kKeys);
+  EXPECT_FALSE(store.PackNeedsRepair());
+
+  // A fresh handle — a fresh process — must serve every key from the
+  // pack, byte-identical to what was saved.
+  GraphStore reader(dir);
+  for (const std::string& key : keys) {
+    GraphStore::LoadResult load = reader.Load(key, all.schema(), guards, k);
+    ASSERT_NE(load.graph, nullptr) << key;
+    EXPECT_EQ(SerializeGraph(*load.graph, key), SerializeGraph(graph, key))
+        << key;
+  }
+  EXPECT_EQ(reader.counters().pack_loads, kKeys);
+  EXPECT_EQ(reader.counters().loose_loads, 0u);
+  EXPECT_EQ(reader.counters().load_failures, 0u);
+}
+
+TEST(StoreTest, RepackSurvivesACrashAtEveryKillPoint) {
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  const int k = system.num_registers();
+  SubTransitionGraph graph = BuildSmallCompleteGraph(all, system);
+
+  constexpr std::uint64_t kKeys = 16;
+  struct Case {
+    RepackKillPoint kill;
+    const char* name;
+  };
+  for (const Case& c :
+       {Case{RepackKillPoint::kBeforePackRename, "before_pack_rename"},
+        Case{RepackKillPoint::kBeforeIndexRename, "before_index_rename"},
+        Case{RepackKillPoint::kBeforeLooseDelete, "before_loose_delete"}}) {
+    SCOPED_TRACE(c.name);
+    const std::string dir = StoreDir(std::string("repack_kill_") + c.name);
+    std::vector<std::string> keys;
+    {
+      GraphStore store(dir);
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        keys.push_back("kill/" + std::to_string(i));
+        ASSERT_TRUE(store.Save(keys.back(), graph));
+      }
+      store.Repack(c.kill);  // the "crash"
+    }
+
+    // A fresh process after the crash: every key still loads
+    // byte-identical — the loose files stay authoritative until both
+    // renames land, and a pack without its matching index is invisible.
+    GraphStore reader(dir);
+    for (const std::string& key : keys) {
+      GraphStore::LoadResult load = reader.Load(key, all.schema(), guards, k);
+      ASSERT_NE(load.graph, nullptr) << key;
+      EXPECT_EQ(SerializeGraph(*load.graph, key), SerializeGraph(graph, key));
+    }
+    EXPECT_EQ(reader.LooseFileCount(), kKeys);
+    if (c.kill == RepackKillPoint::kBeforePackRename) {
+      EXPECT_EQ(reader.PackEntryCount(), 0u);
+      EXPECT_FALSE(reader.PackNeedsRepair()) << "no pack was published";
+    }
+    if (c.kill == RepackKillPoint::kBeforeIndexRename) {
+      EXPECT_TRUE(reader.PackNeedsRepair())
+          << "a published pack without its index must read as repairable";
+      EXPECT_EQ(reader.PackEntryCount(), 0u);
+    }
+
+    // The next repack completes the interrupted fold: a fresh generation
+    // with every key, loose tier empty, index live.
+    const StoreRepackResult recovery = reader.Repack();
+    EXPECT_TRUE(recovery.performed);
+    EXPECT_TRUE(recovery.error.empty()) << recovery.error;
+    EXPECT_EQ(recovery.entries, kKeys);
+    EXPECT_EQ(reader.LooseFileCount(), 0u);
+    EXPECT_FALSE(reader.PackNeedsRepair());
+    GraphStore packed(dir);
+    for (const std::string& key : keys) {
+      GraphStore::LoadResult load = packed.Load(key, all.schema(), guards, k);
+      ASSERT_NE(load.graph, nullptr) << key;
+      EXPECT_EQ(SerializeGraph(*load.graph, key), SerializeGraph(graph, key));
+    }
+    EXPECT_EQ(packed.counters().pack_loads, kKeys);
+  }
+}
+
+TEST(StoreTest, StaleIndexAfterCrashRecoversPackOnlyEntriesByScan) {
+  // Generation 1 folds its keys into the pack and deletes the loose files
+  // — the pack is now the ONLY copy. Generation 2 crashes between the
+  // pack rename and the index rename: the directory holds the new pack
+  // bound to the old, now-stale index, so readers see no pack at all.
+  // The recovery repack must resurrect the pack-only entries by
+  // sequential scan; losing them would be real data loss.
+  const std::string dir = StoreDir("repack_stale_index");
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  const int k = system.num_registers();
+  SubTransitionGraph graph = BuildSmallCompleteGraph(all, system);
+
+  GraphStore store(dir);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) {
+    keys.push_back("gen1/" + std::to_string(i));
+    ASSERT_TRUE(store.Save(keys.back(), graph));
+  }
+  ASSERT_TRUE(store.Repack().performed);
+  ASSERT_EQ(store.LooseFileCount(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back("gen2/" + std::to_string(i));
+    ASSERT_TRUE(store.Save(keys.back(), graph));
+  }
+  store.Repack(RepackKillPoint::kBeforeIndexRename);  // the "crash"
+
+  GraphStore reader(dir);
+  EXPECT_TRUE(reader.PackNeedsRepair());
+  // The gen-1 keys are temporarily invisible (their only copy sits in the
+  // unindexed pack) — unavailable, but not lost:
+  EXPECT_EQ(reader.Load(keys.front(), all.schema(), guards, k).graph,
+            nullptr);
+  const StoreRepackResult recovery = reader.Repack();
+  EXPECT_TRUE(recovery.performed);
+  EXPECT_TRUE(recovery.error.empty()) << recovery.error;
+  EXPECT_EQ(recovery.entries, 12u);
+  EXPECT_FALSE(reader.PackNeedsRepair());
+  GraphStore packed(dir);
+  for (const std::string& key : keys) {
+    GraphStore::LoadResult load = packed.Load(key, all.schema(), guards, k);
+    ASSERT_NE(load.graph, nullptr) << key;
+    EXPECT_EQ(SerializeGraph(*load.graph, key), SerializeGraph(graph, key));
+  }
+}
+
+TEST(StoreTest, TruncatedPackRecoversItsValidPrefixOnTheNextRepack) {
+  // Tear the tail of a published pack (disk trouble after the fold). The
+  // size-bound index stops matching, so the whole pack reads as absent;
+  // the next repack's sequential scan keeps every whole entry before the
+  // tear and publishes a clean generation from them.
+  const std::string dir = StoreDir("repack_truncated");
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();
+  std::vector<FormulaRef> guards = GuardsOf(system);
+  const int k = system.num_registers();
+  SubTransitionGraph graph = BuildSmallCompleteGraph(all, system);
+
+  GraphStore store(dir);
+  constexpr std::uint64_t kKeys = 8;
+  std::vector<std::string> keys;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    keys.push_back("torn/" + std::to_string(i));
+    ASSERT_TRUE(store.Save(keys.back(), graph));
+  }
+  ASSERT_TRUE(store.Repack().performed);
+
+  const std::uint64_t pack_size = fs::file_size(store.PackPath());
+  fs::resize_file(store.PackPath(), pack_size - 5);  // tear the last entry
+
+  GraphStore reader(dir);
+  EXPECT_TRUE(reader.PackNeedsRepair());
+  const StoreRepackResult recovery = reader.Repack();
+  EXPECT_TRUE(recovery.performed);
+  EXPECT_TRUE(recovery.error.empty()) << recovery.error;
+  EXPECT_EQ(recovery.entries, kKeys - 1) << "only the torn entry is gone";
+  EXPECT_FALSE(reader.PackNeedsRepair());
+
+  GraphStore packed(dir);
+  std::uint64_t survivors = 0;
+  for (const std::string& key : keys) {
+    GraphStore::LoadResult load = packed.Load(key, all.schema(), guards, k);
+    if (load.graph == nullptr) continue;
+    EXPECT_EQ(SerializeGraph(*load.graph, key), SerializeGraph(graph, key));
+    ++survivors;
+  }
+  EXPECT_EQ(survivors, kKeys - 1);
+}
+
+TEST(StoreTest, RepackCleansStaleTempFilesFromCrashedRuns) {
+  const std::string dir = StoreDir("repack_stale_tmp");
+  AllStructuresClass all(GraphZooSchema());
+  DdsSystem system = ContradictionSystem();
+  SubTransitionGraph graph = BuildSmallCompleteGraph(all, system);
+
+  GraphStore store(dir);
+  ASSERT_TRUE(store.Save("tmp/0", graph));
+  // Leftovers of a repack that died mid-write in some earlier process.
+  const std::string stale_pack = store.PackPath() + ".tmp.999.7";
+  const std::string stale_idx = store.IndexPath() + ".tmp.999.7";
+  std::ofstream(stale_pack) << "garbage";
+  std::ofstream(stale_idx) << "garbage";
+
+  const StoreRepackResult repack = store.Repack();
+  EXPECT_TRUE(repack.performed);
+  EXPECT_EQ(repack.entries, 1u);
+  EXPECT_FALSE(fs::exists(stale_pack));
+  EXPECT_FALSE(fs::exists(stale_idx));
+}
+
 }  // namespace
 }  // namespace amalgam

@@ -29,14 +29,17 @@
 //
 // In stdio mode EOF drains in-flight queries, flushes their responses and
 // exits 0. See src/service/protocol.h for the request/response reference.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "net/server.h"
+#include "service/maintenance.h"
 #include "service/protocol.h"
 #include "service/service.h"
 #include "service/session.h"
@@ -67,6 +70,17 @@ void PrintUsage(const char* argv0) {
       "  --store-dir DIR         attach the disk tier at DIR\n"
       "  --store-max-bytes N / --store-max-files N   disk-tier sweep caps\n"
       "\n"
+      "maintenance (need --store-dir; see docs/OPERATIONS.md):\n"
+      "  --maintenance-interval-ms N  run a background maintenance pass\n"
+      "                          (complete partial store entries while\n"
+      "                          idle, repack, sweep) every N ms; 0 = only\n"
+      "                          on {\"op\":\"maintain\"} (default)\n"
+      "  --prewarm               replay DIR/access.jsonl on startup,\n"
+      "                          promoting persisted graphs into memory\n"
+      "  --repack-min-loose N    fold the loose tier into the pack when a\n"
+      "                          pass finds >= N loose files (default 8;\n"
+      "                          0 = passes never repack)\n"
+      "\n"
       "--stdio cannot be combined with --uds/--tcp; --uds and --tcp can.\n"
       "Requests are JSONL; see src/service/protocol.h.\n",
       argv0);
@@ -84,6 +98,9 @@ bool ParseUint(const std::string& text, std::uint64_t* out) {
 struct Cli {
   amalgam::QueryService::Options service;
   amalgam::DaemonServerOptions net;
+  int maintenance_interval_ms = 0;
+  std::uint64_t repack_min_loose = 8;
+  bool prewarm = false;
   bool stdio = false;
   bool help = false;
   std::string error;  // non-empty: reject with this message
@@ -154,6 +171,12 @@ Cli ParseArgs(int argc, char** argv) {
       if (need_uint(&n)) cli.service.store_max_bytes = n;
     } else if (flag == "--store-max-files") {
       if (need_uint(&n)) cli.service.store_max_files = n;
+    } else if (flag == "--maintenance-interval-ms") {
+      if (need_uint(&n)) cli.maintenance_interval_ms = static_cast<int>(n);
+    } else if (flag == "--repack-min-loose") {
+      if (need_uint(&n)) cli.repack_min_loose = n;
+    } else if (flag == "--prewarm") {
+      cli.prewarm = true;
     } else {
       cli.error = "unknown flag '" + flag + "' (see --help)";
     }
@@ -175,17 +198,25 @@ Cli ParseArgs(int argc, char** argv) {
   if (cli.stdio && socket_only_flags) {
     cli.error = "--max-inflight-per-conn/--idle-timeout-ms apply to socket "
                 "transports; combine them with --uds or --tcp";
+    return cli;
+  }
+  if (cli.service.store_dir.empty() &&
+      (cli.maintenance_interval_ms > 0 || cli.prewarm)) {
+    cli.error = "--maintenance-interval-ms/--prewarm maintain the disk "
+                "tier; combine them with --store-dir";
   }
   return cli;
 }
 
-int RunStdio(amalgam::QueryService& service) {
+int RunStdio(amalgam::QueryService& service,
+             amalgam::MaintenanceLoop* maintenance) {
   amalgam::ConnectionCounters counters;
   counters.opened.store(1);
   counters.open.store(1);
   {
     amalgam::Session::Options sopts;
     sopts.id = 1;
+    sopts.maintenance = maintenance;
     amalgam::Session session(
         service, sopts,
         [](const std::string& line) {
@@ -202,12 +233,16 @@ int RunStdio(amalgam::QueryService& service) {
     }
     session.Flush();  // EOF/shutdown: every accepted line gets its response
   }  // joins the session writer
+  if (maintenance != nullptr) maintenance->Stop();
   service.Shutdown();
   return 0;
 }
 
-int RunServer(amalgam::QueryService& service, const Cli& cli) {
-  amalgam::DaemonServer server(service, cli.net);
+int RunServer(amalgam::QueryService& service, const Cli& cli,
+              amalgam::MaintenanceLoop* maintenance) {
+  amalgam::DaemonServerOptions net = cli.net;
+  net.maintenance = maintenance;
+  amalgam::DaemonServer server(service, net);
   try {
     server.Start();
   } catch (const std::exception& e) {
@@ -224,6 +259,7 @@ int RunServer(amalgam::QueryService& service, const Cli& cli) {
   }
   server.WaitUntilStopped();  // until a client's {"op":"shutdown"}
   server.Stop();              // flushes sessions before the pool goes away
+  if (maintenance != nullptr) maintenance->Stop();
   service.Shutdown();
   return 0;
 }
@@ -242,5 +278,26 @@ int main(int argc, char** argv) {
     return 2;
   }
   amalgam::QueryService service(cli.service);
-  return cli.stdio ? RunStdio(service) : RunServer(service, cli);
+  // Any daemon with a store gets a maintenance loop ({"op":"maintain"}
+  // always works); the background thread and prewarm are opt-in flags.
+  std::unique_ptr<amalgam::MaintenanceLoop> maintenance;
+  if (!cli.service.store_dir.empty()) {
+    amalgam::MaintenanceOptions mopts;
+    mopts.store_dir = cli.service.store_dir;
+    mopts.interval_ms = cli.maintenance_interval_ms;
+    mopts.store_max_bytes = cli.service.store_max_bytes;
+    mopts.store_max_files = cli.service.store_max_files;
+    mopts.repack_min_loose = cli.repack_min_loose;
+    maintenance =
+        std::make_unique<amalgam::MaintenanceLoop>(service, mopts);
+    if (cli.prewarm) {
+      const std::uint64_t warmed = maintenance->Prewarm();
+      std::fprintf(stderr, "amalgamd: prewarmed %llu graphs from %s\n",
+                   static_cast<unsigned long long>(warmed),
+                   cli.service.store_dir.c_str());
+    }
+    maintenance->Start();
+  }
+  return cli.stdio ? RunStdio(service, maintenance.get())
+                   : RunServer(service, cli, maintenance.get());
 }
