@@ -160,6 +160,36 @@ BENCHMARK(BM_CachedQuery)
     ->ArgNames({"states"})
     ->Unit(benchmark::kMillisecond);
 
+// Tracing's pay-for-what-you-use claim, measured: a cold eager chain-64
+// build with the trace slot null (traced:0) against the same build
+// recording every span (traced:1). The null side is the disabled path
+// every production query takes without `"trace":true` — one predictable
+// branch per instrumentation site — and the baseline gate holds it to
+// the pre-instrumentation build time; the traced side prices the full
+// recorder (mutex, clock reads, span storage).
+void BM_TraceOverhead(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  DdsSystem system = ChainSystem(64, 1);
+  AllStructuresClass cls(GraphZooSchema());
+  std::size_t spans = 0;
+  for (auto _ : state) {
+    TraceRecorder recorder;
+    SolveOptions options;
+    options.build_witness = false;
+    options.strategy = SolveStrategy::kEager;
+    options.trace = traced ? &recorder : nullptr;
+    SolveResult result = SolveEmptiness(system, cls, options);
+    benchmark::DoNotOptimize(result.nonempty);
+    spans = recorder.span_count();
+  }
+  state.counters["spans"] = static_cast<double>(spans);
+}
+BENCHMARK(BM_TraceOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"traced"})
+    ->Unit(benchmark::kMillisecond);
+
 // The sharded parallel sweep vs the serial eager build on the 64-state
 // chain: each worker owns one round-robin slice of the 2k joint-member
 // stream (guard evaluation, canonicalization and interning happen in the

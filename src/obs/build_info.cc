@@ -1,0 +1,15 @@
+#include "obs/build_info.h"
+
+namespace amalgam {
+
+const char* AmalgamBuildType() {
+#ifdef AMALGAM_BUILD_TYPE
+  return AMALGAM_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+const char* AmalgamVersion() { return "0.10.0"; }
+
+}  // namespace amalgam

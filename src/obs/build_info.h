@@ -1,0 +1,19 @@
+// Build identity surfaced by the stats op and the metrics exposition
+// (`amalgam_build_info{build_type=...,version=...} 1`), so a scraped
+// fleet can tell Release daemons from stray Debug ones — the bench gate
+// already refuses cross-build-type comparisons for the same reason.
+#ifndef AMALGAM_OBS_BUILD_INFO_H_
+#define AMALGAM_OBS_BUILD_INFO_H_
+
+namespace amalgam {
+
+/// The CMake build type baked into the library ("Release", "Debug", ...;
+/// "unknown" when the build system did not stamp one).
+const char* AmalgamBuildType();
+
+/// The library version string.
+const char* AmalgamVersion();
+
+}  // namespace amalgam
+
+#endif  // AMALGAM_OBS_BUILD_INFO_H_

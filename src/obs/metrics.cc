@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace amalgam {
+
+namespace {
+
+// %.17g round-trips doubles exactly; trim to a plain integer rendering
+// when the value is one (the overwhelmingly common case for counters).
+std::string RenderValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendHeader(std::string& out, const std::string& name,
+                  const std::string& help, MetricKind kind) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " ";
+  out += KindName(kind);
+  out += "\n";
+}
+
+}  // namespace
+
+MetricHistogram::MetricHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void MetricHistogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not universally lowered;
+  // a CAS loop is portable and this is off every per-member hot loop.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double MetricHistogram::Quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    const std::uint64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= rank) {
+      if (i == bounds_.size()) {
+        // Overflow bucket: no finite upper edge to interpolate toward.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double into =
+          (rank - static_cast<double>(cumulative)) / in_bucket;
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> DefaultLatencyBoundsMs() {
+  return {0.05, 0.1,  0.25, 0.5,  1.0,    2.5,    5.0,    10.0,  25.0,
+          50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const global = new MetricsRegistry();
+  return *global;
+}
+
+void MetricsRegistry::ValidateName(const std::string& name) {
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  bool ok = !name.empty() && head(name[0]);
+  for (std::size_t i = 1; ok && i < name.size(); ++i) {
+    ok = head(name[i]) || (name[i] >= '0' && name[i] <= '9');
+  }
+  if (!ok) {
+    throw std::invalid_argument("invalid metric name: \"" + name + "\"");
+  }
+}
+
+MetricsRegistry::Scalar& MetricsRegistry::ScalarSlot(MetricKind kind,
+                                                     const std::string& name,
+                                                     const std::string& help) {
+  // Caller holds mutex_.
+  auto it = scalars_.find(name);
+  if (it != scalars_.end()) {
+    if (it->second.kind != kind) {
+      throw std::invalid_argument("metric \"" + name +
+                                  "\" already registered with another kind");
+    }
+    return it->second;
+  }
+  ValidateName(name);
+  if (histograms_.count(name)) {
+    throw std::invalid_argument("metric \"" + name +
+                                "\" already registered as a histogram");
+  }
+  Scalar slot;
+  slot.kind = kind;
+  slot.help = help;
+  if (kind == MetricKind::kCounter) {
+    slot.counter = std::make_unique<MetricCounter>();
+  } else {
+    slot.gauge = std::make_unique<MetricGauge>();
+  }
+  return scalars_.emplace(name, std::move(slot)).first->second;
+}
+
+MetricCounter& MetricsRegistry::Counter(const std::string& name,
+                                        const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *ScalarSlot(MetricKind::kCounter, name, help).counter;
+}
+
+MetricGauge& MetricsRegistry::Gauge(const std::string& name,
+                                    const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *ScalarSlot(MetricKind::kGauge, name, help).gauge;
+}
+
+MetricHistogram& MetricsRegistry::Histogram(const std::string& name,
+                                            const std::string& help,
+                                            std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second.histogram;
+  ValidateName(name);
+  if (scalars_.count(name)) {
+    throw std::invalid_argument("metric \"" + name +
+                                "\" already registered as a scalar");
+  }
+  Hist hist;
+  hist.help = help;
+  hist.histogram = std::make_unique<MetricHistogram>(std::move(bounds));
+  return *histograms_.emplace(name, std::move(hist)).first->second.histogram;
+}
+
+void MetricsRegistry::SetScalar(MetricKind kind, const std::string& name,
+                                const std::string& help, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Scalar& slot = ScalarSlot(kind, name, help);
+  if (slot.counter) {
+    slot.counter->Set(static_cast<std::uint64_t>(value));
+  } else {
+    slot.gauge->Set(value);
+  }
+}
+
+void MetricsRegistry::SetLabeledGauge(const std::string& name,
+                                      const std::string& help,
+                                      const std::string& labels,
+                                      double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Scalar& slot = ScalarSlot(MetricKind::kGauge, name, help);
+  slot.labels = labels;
+  slot.gauge->Set(value);
+}
+
+std::vector<std::string> MetricsRegistry::MetricNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(scalars_.size() + histograms_.size());
+  for (const auto& [name, slot] : scalars_) names.push_back(name);
+  for (const auto& [name, hist] : histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  // Interleave the two sorted maps so the whole exposition is sorted by
+  // metric name regardless of kind.
+  auto s_it = scalars_.begin();
+  auto h_it = histograms_.begin();
+  while (s_it != scalars_.end() || h_it != histograms_.end()) {
+    const bool take_scalar =
+        h_it == histograms_.end() ||
+        (s_it != scalars_.end() && s_it->first < h_it->first);
+    if (take_scalar) {
+      const auto& [name, slot] = *s_it++;
+      AppendHeader(out, name, slot.help, slot.kind);
+      out += name;
+      if (!slot.labels.empty()) out += "{" + slot.labels + "}";
+      out += " ";
+      out += RenderValue(slot.counter
+                             ? static_cast<double>(slot.counter->value())
+                             : slot.gauge->value());
+      out += "\n";
+    } else {
+      const auto& [name, hist] = *h_it++;
+      const MetricHistogram& h = *hist.histogram;
+      AppendHeader(out, name, hist.help, MetricKind::kHistogram);
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        cumulative += h.bucket_count(i);
+        out += name + "_bucket{le=\"" + RenderValue(h.bounds()[i]) + "\"} " +
+               RenderValue(static_cast<double>(cumulative)) + "\n";
+      }
+      cumulative += h.bucket_count(h.bounds().size());
+      out += name + "_bucket{le=\"+Inf\"} " +
+             RenderValue(static_cast<double>(cumulative)) + "\n";
+      out += name + "_sum " + RenderValue(h.sum()) + "\n";
+      out += name + "_count " +
+             RenderValue(static_cast<double>(h.count())) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace amalgam

@@ -1,0 +1,163 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "service/json.h"
+
+namespace amalgam {
+
+int TraceRecorder::BeginSpan(const char* name) {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.name = name;
+  span.start_ns = SinceEpoch(now);
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(id);
+  return id;
+}
+
+void TraceRecorder::EndSpan(int id) {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  TraceSpan& span = spans_[id];
+  const std::uint64_t end_ns = SinceEpoch(now);
+  span.duration_ns = end_ns > span.start_ns ? end_ns - span.start_ns : 0;
+  // Pop through `id`: a child left open by an early exit is closed (with
+  // zero additional duration beyond what it accrued) rather than wedging
+  // the stack for every later span.
+  while (!open_.empty()) {
+    const int top = open_.back();
+    open_.pop_back();
+    if (top == id) break;
+    TraceSpan& leaked = spans_[top];
+    const std::uint64_t leaked_end = SinceEpoch(now);
+    leaked.duration_ns =
+        leaked_end > leaked.start_ns ? leaked_end - leaked.start_ns : 0;
+  }
+}
+
+int TraceRecorder::RecordSpan(const char* name, Clock::time_point start,
+                              Clock::time_point end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.name = name;
+  span.start_ns = SinceEpoch(start);
+  const std::uint64_t end_ns = SinceEpoch(end);
+  span.duration_ns = end_ns > span.start_ns ? end_ns - span.start_ns : 0;
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+void TraceRecorder::Annotate(int id, const char* key, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  spans_[id].annotations.push_back(
+      TraceAnnotation{key, buf, /*is_number=*/true});
+}
+
+void TraceRecorder::Annotate(int id, const char* key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  spans_[id].annotations.push_back(
+      TraceAnnotation{key, std::move(value), /*is_number=*/false});
+}
+
+void TraceRecorder::AnnotateCurrent(const char* key, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_.empty()) return;
+  spans_[open_.back()].annotations.push_back(
+      TraceAnnotation{key, buf, /*is_number=*/true});
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+namespace {
+
+void AppendUs(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+
+void AppendSpanJson(std::string& out, const std::vector<TraceSpan>& spans,
+                    const std::vector<std::vector<int>>& children, int id) {
+  const TraceSpan& span = spans[id];
+  out += "{\"name\":\"";
+  out += JsonEscape(span.name);
+  out += "\",\"start_us\":";
+  AppendUs(out, span.start_ns);
+  out += ",\"dur_us\":";
+  AppendUs(out, span.duration_ns);
+  if (!span.annotations.empty()) {
+    out += ",\"ann\":{";
+    for (std::size_t i = 0; i < span.annotations.size(); ++i) {
+      const TraceAnnotation& a = span.annotations[i];
+      if (i > 0) out += ",";
+      out += "\"";
+      out += JsonEscape(a.key);
+      out += "\":";
+      if (a.is_number) {
+        out += a.value;
+      } else {
+        out += "\"";
+        out += JsonEscape(a.value);
+        out += "\"";
+      }
+    }
+    out += "}";
+  }
+  if (!children[id].empty()) {
+    out += ",\"children\":[";
+    for (std::size_t i = 0; i < children[id].size(); ++i) {
+      if (i > 0) out += ",";
+      AppendSpanJson(out, spans, children, children[id][i]);
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToJson() const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  std::vector<std::vector<int>> children(spans.size());
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent < 0) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      children[spans[i].parent].push_back(static_cast<int>(i));
+    }
+  }
+  std::string out = "[";
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendSpanJson(out, spans, children, roots[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace amalgam

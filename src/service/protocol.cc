@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fraisse/relational.h"
+#include "obs/build_info.h"
 #include "service/json.h"
 #include "system/zoo.h"
 #include "trees/run_class.h"
@@ -263,6 +264,11 @@ void ParseQuery(const JsonValue& json, ProtocolRequest& out) {
   query.atom_cap = static_cast<std::uint32_t>(
       std::max<std::int64_t>(0, json.GetInt("atom_cap", 0)));
   out.store_dir = json.GetString("store_dir");
+  // The recorder is created here, at parse time, so its epoch covers the
+  // whole service-side life of the request (queue wait included).
+  if (json.GetBool("trace", false)) {
+    query.trace = std::make_shared<TraceRecorder>();
+  }
 
   const JsonValue* system_field = json.Get("system");
   if (!system_field) throw ProtocolError("a query needs a `system`");
@@ -388,6 +394,20 @@ void AppendField(std::string& out, const char* name, bool value) {
   out += ",";
 }
 
+// The string overloads exist so a literal never silently binds to the
+// bool overload via pointer->bool conversion.
+void AppendField(std::string& out, const char* name, const std::string& value) {
+  out += "\"";
+  out += name;
+  out += "\":\"";
+  out += JsonEscape(value);
+  out += "\",";
+}
+
+void AppendField(std::string& out, const char* name, const char* value) {
+  AppendField(out, name, std::string(value));
+}
+
 std::string CloseObject(std::string out) {
   if (out.back() == ',') out.pop_back();
   return out + "}";
@@ -421,6 +441,10 @@ ProtocolRequest ParseRequestLine(const std::string& line) {
           std::max<std::int64_t>(0, json->GetInt("max_files", 0)));
     } else if (op == "maintain") {
       request.op = ProtocolRequest::Op::kMaintain;
+    } else if (op == "metrics") {
+      request.op = ProtocolRequest::Op::kMetrics;
+    } else if (op == "recent") {
+      request.op = ProtocolRequest::Op::kRecent;
     } else if (op == "drain") {
       request.op = ProtocolRequest::Op::kDrain;
     } else if (op == "shutdown") {
@@ -428,7 +452,8 @@ ProtocolRequest ParseRequestLine(const std::string& line) {
     } else {
       throw ProtocolError(
           "unknown op \"" + op +
-          "\" (known: query, stats, sweep, maintain, drain, shutdown)");
+          "\" (known: query, stats, sweep, maintain, metrics, recent, "
+          "drain, shutdown)");
     }
   } catch (const std::exception& e) {
     request.error = e.what();
@@ -452,6 +477,10 @@ std::string FormatQueryResponse(const ProtocolRequest& request,
   AppendField(out, "resumed", result.stats.graph_resumed);
   AppendField(out, "coalesced", result.coalesced);
   AppendField(out, "latency_ms", result.latency_ms);
+  if (result.trace != nullptr && result.trace->span_count() > 0) {
+    // The span forest, nested; ToJson emits a JSON array of root spans.
+    out += "\"trace\":" + result.trace->ToJson() + ",";
+  }
   return CloseObject(std::move(out));
 }
 
@@ -460,46 +489,82 @@ std::string FormatStatsResponse(const ProtocolRequest& request,
   std::string out = ResponseHead(request);
   AppendField(out, "ok", true);
   out += "\"op\":\"stats\",";
-  AppendField(out, "queries", stats.queries);
-  AppendField(out, "failed", stats.failed);
-  AppendField(out, "coalesced_joins", stats.coalesced_joins);
-  AppendField(out, "single_flight_leads", stats.single_flight_leads);
-  AppendField(out, "resume_leads", stats.resume_leads);
-  AppendField(out, "resume_coalesced", stats.resume_coalesced);
-  AppendField(out, "pending", stats.pending);
-  AppendField(out, "cache_hits", stats.cache_hits);
-  AppendField(out, "cache_misses", stats.cache_misses);
-  AppendField(out, "cache_evictions", stats.cache_evictions);
-  AppendField(out, "store_loads", stats.store_loads);
-  AppendField(out, "store_load_failures", stats.store_load_failures);
-  AppendField(out, "store_writes", stats.store_writes);
-  AppendField(out, "store_loose_loads", stats.store_loose_loads);
-  AppendField(out, "store_pack_loads", stats.store_pack_loads);
-  AppendField(out, "store_save_skips", stats.store_save_skips);
-  AppendField(out, "store_sweeps", stats.store_sweeps);
-  AppendField(out, "store_sweep_files_removed",
-              stats.store_sweep_files_removed);
-  AppendField(out, "store_sweep_bytes_removed",
-              stats.store_sweep_bytes_removed);
-  AppendField(out, "store_repacks", stats.store_repacks);
-  AppendField(out, "store_pack_entries", stats.store_pack_entries);
-  AppendField(out, "maintenance_passes", stats.maintenance_passes);
-  AppendField(out, "partials_completed", stats.partials_completed);
-  AppendField(out, "prewarm_loads", stats.prewarm_loads);
-  AppendField(out, "repacks", stats.repacks);
-  AppendField(out, "members_enumerated", stats.members_enumerated);
-  AppendField(out, "members_generated", stats.members_generated);
+  // Every counter the struct declares, in declaration order — generated
+  // from the same field list as the struct itself and the Prometheus
+  // export, so the three surfaces can never drift apart.
+#define AMALGAM_APPEND_STAT_FIELD(field, kind, help) \
+  AppendField(out, #field, stats.field);
+  AMALGAM_SERVICE_STATS_FIELDS(AMALGAM_APPEND_STAT_FIELD)
+#undef AMALGAM_APPEND_STAT_FIELD
   AppendField(out, "p50_latency_ms", stats.p50_latency_ms);
   AppendField(out, "p95_latency_ms", stats.p95_latency_ms);
-  // Transport-level counters (zero outside a daemon session): the daemon's
-  // connection totals plus the connection the stats op arrived on.
-  AppendField(out, "connections_open", stats.connections_open);
-  AppendField(out, "connections_opened", stats.connections_opened);
-  AppendField(out, "overload_rejections", stats.overload_rejections);
-  AppendField(out, "conn_id", stats.conn_id);
-  AppendField(out, "conn_requests", stats.conn_requests);
-  AppendField(out, "conn_rejected_overload", stats.conn_rejected_overload);
+  AppendField(out, "p99_latency_ms", stats.p99_latency_ms);
+  AppendField(out, "build_type", AmalgamBuildType());
+  AppendField(out, "version", AmalgamVersion());
   return CloseObject(std::move(out));
+}
+
+std::string FormatMetricsResponse(const ProtocolRequest& request,
+                                  const std::string& body) {
+  std::string out = ResponseHead(request);
+  AppendField(out, "ok", true);
+  out += "\"op\":\"metrics\",";
+  AppendField(out, "content_type",
+              "text/plain; version=0.0.4; charset=utf-8");
+  AppendField(out, "body", body);
+  return CloseObject(std::move(out));
+}
+
+std::string FormatRecentResponse(const ProtocolRequest& request,
+                                 const std::vector<RecentQuery>& entries) {
+  std::string out = ResponseHead(request);
+  AppendField(out, "ok", true);
+  out += "\"op\":\"recent\",";
+  AppendField(out, "count", static_cast<std::uint64_t>(entries.size()));
+  out += "\"queries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const RecentQuery& entry = entries[i];
+    if (i > 0) out += ",";
+    std::string item = "{";
+    AppendField(item, "seq", entry.seq);
+    AppendField(item, "key", entry.key);
+    AppendField(item, "kind", entry.kind);
+    AppendField(item, "ok", entry.ok);
+    AppendField(item, "nonempty", entry.nonempty);
+    AppendField(item, "coalesced", entry.coalesced);
+    AppendField(item, "from_cache", entry.from_cache);
+    AppendField(item, "resumed", entry.resumed);
+    AppendField(item, "traced", entry.traced);
+    AppendField(item, "latency_ms", entry.latency_ms);
+    if (!entry.span_rollup.empty()) {
+      item += "\"spans\":{";
+      for (std::size_t j = 0; j < entry.span_rollup.size(); ++j) {
+        if (j > 0) item += ",";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", entry.span_rollup[j].second);
+        item += "\"" + JsonEscape(entry.span_rollup[j].first) + "\":" + buf;
+      }
+      item += "},";
+    }
+    out += CloseObject(std::move(item));
+  }
+  out += "],";
+  return CloseObject(std::move(out));
+}
+
+void ExportServiceStats(const ServiceStats& stats, MetricsRegistry& registry) {
+  // Mechanical: one registry scalar per struct field, same name prefix as
+  // the stats op's JSON member. The kind token pastes onto MetricKind::k.
+#define AMALGAM_EXPORT_STAT_FIELD(field, kind, help)        \
+  registry.SetScalar(MetricKind::k##kind, "amalgam_" #field, \
+                     help, static_cast<double>(stats.field));
+  AMALGAM_SERVICE_STATS_FIELDS(AMALGAM_EXPORT_STAT_FIELD)
+#undef AMALGAM_EXPORT_STAT_FIELD
+  registry.SetLabeledGauge(
+      "amalgam_build_info", "Build metadata; the value is always 1",
+      std::string("build_type=\"") + AmalgamBuildType() + "\",version=\"" +
+          AmalgamVersion() + "\"",
+      1.0);
 }
 
 std::string FormatSweepResponse(const ProtocolRequest& request,

@@ -22,12 +22,18 @@
 // ({"relations":[["E",2],...],"functions":[...]}; kind "system" specs
 // only — word/tree schemas are implied by the automaton), "store_dir"
 // (attaches the service's disk tier; an error if a different tier is
-// already attached elsewhere).
+// already attached elsewhere), "trace" (true: record the query's span
+// tree — queue wait, coalesced wait, per-phase sweeps, store I/O — and
+// return it in the response's "trace" member; see docs/OBSERVABILITY.md).
 //
 // *Admin* lines select an op instead: {"op":"stats"}, {"op":"sweep",
 // "max_bytes":N,"max_files":N}, {"op":"maintain"} (one synchronous
 // maintenance pass: complete partials, repack, sweep — needs a daemon
-// with a store attached), {"op":"drain"}, {"op":"shutdown"}.
+// with a store attached), {"op":"metrics"} (the full metrics registry in
+// Prometheus text format, JSON-escaped in the response's "body"),
+// {"op":"recent"} (the bounded ring of recent query summaries),
+// {"op":"drain"}, {"op":"shutdown"}. metrics/recent are cheap snapshots:
+// they do not drain the service first.
 //
 // Responses echo the request's "id" verbatim and always carry "ok";
 // failures report {"ok":false,"error":"..."} and never kill the loop.
@@ -40,7 +46,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "service/maintenance.h"
 #include "service/query.h"
 #include "solver/store.h"
@@ -48,7 +56,16 @@
 namespace amalgam {
 
 struct ProtocolRequest {
-  enum class Op { kQuery, kStats, kSweep, kMaintain, kDrain, kShutdown };
+  enum class Op {
+    kQuery,
+    kStats,
+    kSweep,
+    kMaintain,
+    kMetrics,
+    kRecent,
+    kDrain,
+    kShutdown
+  };
 
   Op op = Op::kQuery;
   /// The request's "id" member, re-serialized for echoing ("" = absent).
@@ -77,6 +94,20 @@ std::string FormatSweepResponse(const ProtocolRequest& request,
 std::string FormatMaintainResponse(const ProtocolRequest& request,
                                    const MaintenancePassResult& pass,
                                    const MaintenanceStats& stats);
+/// The {"op":"metrics"} response: `body` (RenderPrometheus output) is
+/// carried JSON-escaped next to its content type, so the op replays
+/// through the same JSONL loop as everything else.
+std::string FormatMetricsResponse(const ProtocolRequest& request,
+                                  const std::string& body);
+/// The {"op":"recent"} response: the ring entries oldest first.
+std::string FormatRecentResponse(const ProtocolRequest& request,
+                                 const std::vector<RecentQuery>& entries);
+/// Snapshots every ServiceStats field into `registry` as an
+/// "amalgam_<field>" counter/gauge (generated from
+/// AMALGAM_SERVICE_STATS_FIELDS, so a new stats counter is exported
+/// automatically), plus the amalgam_build_info labeled gauge. Called at
+/// scrape time by both the metrics op and the --metrics-tcp endpoint.
+void ExportServiceStats(const ServiceStats& stats, MetricsRegistry& registry);
 std::string FormatDrainResponse(const ProtocolRequest& request,
                                 const ServiceStats& stats);
 std::string FormatShutdownResponse(const ProtocolRequest& request,

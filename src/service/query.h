@@ -14,8 +14,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "fraisse/fraisse_class.h"
+#include "obs/trace.h"
 #include "solver/branching.h"
 #include "solver/engine.h"
 #include "system/dds.h"
@@ -31,6 +34,9 @@ enum class QueryKind {
   kTree,       // SolveTreeEmptiness(system, *automaton)
   kBranching,  // SolveBranchingEmptiness(*branching, *cls)
 };
+
+/// The query-kind name used by the protocol and the recent-query log.
+const char* QueryKindName(QueryKind kind);
 
 struct QueryRequest {
   QueryKind kind = QueryKind::kSystem;
@@ -61,6 +67,14 @@ struct QueryRequest {
   /// Exceeding it fails the query in-band with
   /// QueryResult::error_code == EnumerationCapError::kCode.
   std::uint32_t atom_cap = 0;
+
+  /// When set, the query is traced end to end: the service and the engine
+  /// record spans (queue wait, coalesced wait, per-phase sweeps, BFS,
+  /// store I/O) into this recorder and QueryResult::trace carries it back
+  /// for in-band serialization. Null (the default) disables tracing at
+  /// the cost of one branch per span site. The protocol layer creates one
+  /// for a `"trace":true` request line.
+  std::shared_ptr<TraceRecorder> trace;
 };
 
 struct QueryResult {
@@ -84,68 +98,124 @@ struct QueryResult {
   /// sub-transition graph (the single-flight join path) instead of
   /// building it itself.
   bool coalesced = false;
+
+  /// The request's trace recorder, with the query's span tree recorded
+  /// (null for untraced requests). FormatQueryResponse serializes it as
+  /// the response's "trace" member.
+  std::shared_ptr<const TraceRecorder> trace;
 };
+
+/// One completed query as remembered by the bounded recent-query ring
+/// (QueryService::Recent(), served by {"op":"recent"}) — a fleet-ready
+/// slow-query log entry: what ran, how it was served, how long it took,
+/// and (for traced queries) where the time went by span name.
+struct RecentQuery {
+  /// Completion sequence number (monotonically increasing per service).
+  std::uint64_t seq = 0;
+  /// FNV-1a hash of the graph cache key, in hex — a stable, compact
+  /// identifier for "the same graph" across queries and restarts ("" when
+  /// the request failed before a key existed).
+  std::string key;
+  const char* kind = "";  // QueryKindName
+  bool ok = false;
+  bool nonempty = false;
+  bool coalesced = false;
+  bool from_cache = false;
+  bool resumed = false;
+  bool traced = false;
+  double latency_ms = 0.0;
+  /// Per-span-name total durations in ms, traced queries only.
+  std::vector<std::pair<std::string, double>> span_rollup;
+};
+
+// The ServiceStats counter fields, one X(name, kind, help) per uint64
+// member. This list is the single source of truth: the struct members,
+// the stats-op JSON fields, and the Prometheus export
+// (ExportServiceStats, metric name "amalgam_<field>") are all generated
+// from it, and the static_assert below pins sizeof(ServiceStats) to the
+// macro's field count — adding a uint64 counter to the struct without
+// routing it through this list does not compile, so a new counter can
+// never silently skip the registry or the exposition. `kind` is the
+// Prometheus type: Counter (monotone total) or Gauge (point-in-time).
+#define AMALGAM_SERVICE_STATS_FIELDS(X)                                        \
+  X(queries, Counter, "Completed queries (ok or failed)")                      \
+  X(failed, Counter, "Queries completed with an error")                        \
+  X(coalesced_joins, Counter, "Queries that waited on another query's build")  \
+  X(single_flight_leads, Counter, "Queries that owned a single-flight build")  \
+  X(resume_leads, Counter, "Queries that owned a partial-entry extension")     \
+  X(resume_coalesced, Counter,                                                 \
+    "Queries that waited on another query's resume")                           \
+  X(pending, Gauge, "Queries accepted but not yet finished")                   \
+  X(cache_hits, Counter, "Graph cache hits (memory or promoted store load)")   \
+  X(cache_misses, Counter, "Graph cache misses")                               \
+  X(cache_evictions, Counter, "Memory-tier LRU evictions")                     \
+  X(store_loads, Counter, "Graphs deserialized from the disk tier")            \
+  X(store_load_failures, Counter,                                              \
+    "Store files present but unreadable (fell back to a fresh build)")         \
+  X(store_writes, Counter, "Graphs written through to the disk tier")          \
+  X(store_loose_loads, Counter, "Disk loads served by the loose-file tier")    \
+  X(store_pack_loads, Counter, "Disk loads served by the pack")                \
+  X(store_save_skips, Counter, "Store saves refused by the progress guard")    \
+  X(store_sweeps, Counter, "Disk-tier sweep passes that enforced a cap")       \
+  X(store_sweep_files_removed, Counter, "Files removed by disk-tier sweeps")   \
+  X(store_sweep_bytes_removed, Counter, "Bytes removed by disk-tier sweeps")   \
+  X(store_repacks, Counter, "Pack generations published")                      \
+  X(store_pack_entries, Gauge, "Entries in the current pack index")            \
+  X(members_enumerated, Counter,                                               \
+    "Members delivered to the guard sweep, all completed queries")             \
+  X(members_generated, Counter,                                                \
+    "Members materialized by the backends, all completed queries")             \
+  X(connections_open, Gauge, "Currently connected clients")                    \
+  X(connections_opened, Counter, "Connections accepted since startup")         \
+  X(overload_rejections, Counter,                                              \
+    "Query lines refused by per-connection inflight caps, all clients")        \
+  X(conn_id, Gauge, "Connection id of the asking client (stats op only)")      \
+  X(conn_requests, Counter, "Lines the asking connection has sent")            \
+  X(conn_rejected_overload, Counter,                                           \
+    "The asking connection's refused query lines")                             \
+  X(maintenance_passes, Counter, "Maintenance passes completed")               \
+  X(partials_completed, Counter,                                               \
+    "Partial store entries driven to completion by maintenance")               \
+  X(prewarm_loads, Counter, "Graphs promoted into memory by startup prewarm")  \
+  X(repacks, Counter, "Pack generations published by the maintenance loop")    \
+  X(uptime_ms, Gauge, "Milliseconds since the service started")
 
 /// Aggregated per-service counters; see QueryService::Stats().
+///
+/// The uint64 members are generated from AMALGAM_SERVICE_STATS_FIELDS —
+/// cache/store counters are snapshots of the shared GraphCache and
+/// GraphStore tiers; connection and maintenance counters are filled in by
+/// the session/daemon layer (Session::SnapshotStats) and stay zero when
+/// the service is used directly.
 struct ServiceStats {
-  std::uint64_t queries = 0;             // completed (ok or failed)
-  std::uint64_t failed = 0;              // completed with an error
-  std::uint64_t coalesced_joins = 0;     // waited on another query's build
-  std::uint64_t single_flight_leads = 0; // owned a single-flight build
-  std::uint64_t resume_leads = 0;        // owned a partial-entry extension
-  std::uint64_t resume_coalesced = 0;    // waited on another query's resume
-  std::uint64_t pending = 0;             // accepted, not yet finished
+#define AMALGAM_DEFINE_STAT_FIELD(field, kind, help) std::uint64_t field = 0;
+  AMALGAM_SERVICE_STATS_FIELDS(AMALGAM_DEFINE_STAT_FIELD)
+#undef AMALGAM_DEFINE_STAT_FIELD
 
-  // Snapshot of the shared GraphCache's tiered counters.
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  std::uint64_t cache_evictions = 0;
-  std::uint64_t store_loads = 0;
-  std::uint64_t store_load_failures = 0;
-  std::uint64_t store_writes = 0;
-
-  // Disk-store tier counters (GraphStore::counters(); all zero without an
-  // attached store). loose/pack loads split store_loads by tier;
-  // save_skips are writes refused by the progress guard; the sweep and
-  // repack counters cover both scheduled (maintenance) and admin-op runs.
-  std::uint64_t store_loose_loads = 0;
-  std::uint64_t store_pack_loads = 0;
-  std::uint64_t store_save_skips = 0;
-  std::uint64_t store_sweeps = 0;
-  std::uint64_t store_sweep_files_removed = 0;
-  std::uint64_t store_sweep_bytes_removed = 0;
-  std::uint64_t store_repacks = 0;
-  std::uint64_t store_pack_entries = 0;  // entries in the current pack index
-
-  // Backend enumeration totals over completed queries: members delivered
-  // to the guard sweep vs. members the backends materialized. The gap is
-  // the work native cursors saved (cache-resumed and sharded builds skip
-  // stream prefixes / foreign shards without regenerating them).
-  std::uint64_t members_enumerated = 0;
-  std::uint64_t members_generated = 0;
-
-  // Latency distribution over a bounded window of the most recent
-  // completions (0 when none completed).
+  // Latency quantiles derived from the service's histogram (obs/metrics.h)
+  // over every completion since startup; 0 when none completed.
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
-
-  // Transport-level counters, filled in by the session/daemon layer
-  // (Session::SnapshotStats) before a stats response is formatted; all
-  // zero when the service is used directly.
-  std::uint64_t connections_open = 0;     // currently connected clients
-  std::uint64_t connections_opened = 0;   // accepted since startup
-  std::uint64_t overload_rejections = 0;  // requests refused, all clients
-  std::uint64_t conn_id = 0;              // the asking connection
-  std::uint64_t conn_requests = 0;        // lines it has sent
-  std::uint64_t conn_rejected_overload = 0;  // its refused requests
-
-  // Maintenance-loop counters (service/maintenance.h), filled in by the
-  // session layer when the daemon runs one; all zero otherwise.
-  std::uint64_t maintenance_passes = 0;
-  std::uint64_t partials_completed = 0;  // partial entries driven complete
-  std::uint64_t prewarm_loads = 0;       // graphs promoted by startup prewarm
-  std::uint64_t repacks = 0;             // pack generations the loop published
+  double p99_latency_ms = 0.0;
 };
+
+inline constexpr std::size_t kServiceStatsCounterFields = 0
+#define AMALGAM_COUNT_STAT_FIELD(field, kind, help) +1
+    AMALGAM_SERVICE_STATS_FIELDS(AMALGAM_COUNT_STAT_FIELD)
+#undef AMALGAM_COUNT_STAT_FIELD
+    ;
+
+// Every uint64 counter must be declared through
+// AMALGAM_SERVICE_STATS_FIELDS (all members are 8 bytes, so the struct
+// has no padding and its size is exactly the field count): a counter
+// added as a bare member changes sizeof without changing the macro count
+// and fails here. Route it through the macro instead — that is what
+// feeds the stats op and the metrics registry.
+static_assert(sizeof(ServiceStats) ==
+                  kServiceStatsCounterFields * sizeof(std::uint64_t) +
+                      3 * sizeof(double),
+              "declare new ServiceStats counters via "
+              "AMALGAM_SERVICE_STATS_FIELDS, not as bare members");
 
 }  // namespace amalgam
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -94,7 +96,37 @@ GraphContext ComputeGraphContext(const QueryRequest& request) {
   return ctx;
 }
 
+// The graph cache key embeds a separator byte and free-form formula text;
+// the recent-query log wants a compact, log-greppable identifier instead.
+// FNV-1a is stable across runs, so "the same graph" hashes the same after
+// a restart.
+std::string HashedKey(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
 }  // namespace
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kSystem:
+      return "system";
+    case QueryKind::kWord:
+      return "word";
+    case QueryKind::kTree:
+      return "tree";
+    case QueryKind::kBranching:
+      return "branching";
+  }
+  return "unknown";
+}
 
 QueryService::QueryService(Options options)
     : options_(std::move(options)), cache_(options_.cache_max_entries) {
@@ -104,6 +136,19 @@ QueryService::QueryService(Options options)
     cache_.AttachStore(options_.store_dir);
     attached_store_dir_ = options_.store_dir;
   }
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  latency_hist_ = &metrics_->Histogram(
+      "amalgam_query_latency_ms",
+      "Query latency from worker pickup to verdict, milliseconds",
+      DefaultLatencyBoundsMs());
+  queue_wait_hist_ = &metrics_->Histogram(
+      "amalgam_queue_wait_ms",
+      "Queue wait from submit to worker pickup, milliseconds",
+      DefaultLatencyBoundsMs());
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -210,6 +255,7 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
   std::future<QueryResult> future = task.promise.get_future();
   ComputeTaskKey(task);  // backend construction: keep it off the lock
   if (task.setup_error.empty()) RecordRecipe(task.graph_key, task.request);
+  task.submitted_at = std::chrono::steady_clock::now();
   {
     // Registration and enqueue are atomic together: a joiner must never
     // precede its leader in the queue, or a one-worker pool would pick up
@@ -238,6 +284,7 @@ std::vector<std::future<QueryResult>> QueryService::SubmitBatch(
     futures.push_back(task.promise.get_future());
     ComputeTaskKey(task);  // per-request backend construction, unlocked
     if (task.setup_error.empty()) RecordRecipe(task.graph_key, task.request);
+    task.submitted_at = std::chrono::steady_clock::now();
     tasks.push_back(std::move(task));
   }
   {
@@ -287,6 +334,7 @@ void QueryService::WorkerLoop() {
 QueryResult QueryService::RunQuery(const QueryRequest& request) {
   const int threads = request.num_threads > 0 ? request.num_threads
                                               : options_.build_threads;
+  TraceRecorder* trace = request.trace.get();
   QueryResult result;
   switch (request.kind) {
     case QueryKind::kSystem: {
@@ -296,6 +344,7 @@ QueryResult QueryService::RunQuery(const QueryRequest& request) {
       options.cache = &cache_;
       options.num_threads = threads;
       options.relational_atom_cap = request.atom_cap;
+      options.trace = trace;
       SolveResult solved = SolveEmptiness(*request.system, *request.cls,
                                           options);
       result.nonempty = solved.nonempty;
@@ -305,7 +354,7 @@ QueryResult QueryService::RunQuery(const QueryRequest& request) {
     case QueryKind::kWord: {
       WordSolveResult solved = SolveWordEmptiness(
           *request.system, *request.nfa, request.build_witness,
-          request.strategy, &cache_, threads);
+          request.strategy, &cache_, threads, /*store_dir=*/"", trace);
       result.nonempty = solved.nonempty;
       result.stats = solved.stats;
       break;
@@ -314,14 +363,16 @@ QueryResult QueryService::RunQuery(const QueryRequest& request) {
       TreeSolveResult solved = SolveTreeEmptiness(
           *request.system, *request.automaton,
           /*witness_size_cap=*/request.build_witness ? 6 : 0,
-          request.extra_pattern_cap, request.strategy, &cache_, threads);
+          request.extra_pattern_cap, request.strategy, &cache_, threads,
+          /*store_dir=*/"", trace);
       result.nonempty = solved.nonempty;
       result.stats = solved.stats;
       break;
     }
     case QueryKind::kBranching: {
       BranchingSolveResult solved = SolveBranchingEmptiness(
-          *request.branching, *request.cls, &cache_, threads);
+          *request.branching, *request.cls, &cache_, threads,
+          /*store_dir=*/"", trace);
       result.nonempty = solved.nonempty;
       result.stats = solved.stats;
       break;
@@ -334,65 +385,113 @@ QueryResult QueryService::RunQuery(const QueryRequest& request) {
 QueryResult QueryService::Execute(Task& task) {
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t store_writes_before = cache_.store_writes();
+  TraceRecorder* trace = task.request.trace.get();
   QueryResult result;
-  if (!task.setup_error.empty()) {
-    result.error = task.setup_error;
-  } else {
-    if (task.role == Role::kJoiner) {
-      task.join_on.wait();
-      result.coalesced = true;
+  {
+    // The root span covers everything the service does on the worker
+    // thread; the queue wait — measured from submit to pickup — is
+    // attached retroactively as its first child. The span must close
+    // before the rollup below reads durations, hence the scope.
+    ScopedSpan query_span(trace, "query");
+    if (trace != nullptr) {
+      query_span.Annotate("kind", QueryKindName(task.request.kind));
+      query_span.Annotate("role", task.role == Role::kLeader   ? "leader"
+                                  : task.role == Role::kJoiner ? "joiner"
+                                                               : "direct");
+      trace->RecordSpan("queue_wait", task.submitted_at, start);
     }
-    try {
-      const bool coalesced = result.coalesced;
-      result = RunQuery(task.request);
-      result.coalesced = coalesced;
-    } catch (const EnumerationCapError& e) {
-      // Structured: clients can distinguish "raise atom_cap and retry"
-      // from a malformed request without parsing the message text.
-      result.ok = false;
-      result.error = e.what();
-      result.error_code = EnumerationCapError::kCode;
-    } catch (const std::exception& e) {
-      result.ok = false;
-      result.error = e.what();
+    if (!task.setup_error.empty()) {
+      result.error = task.setup_error;
+    } else {
+      if (task.role == Role::kJoiner) {
+        ScopedSpan wait_span(trace, "coalesced_wait");
+        task.join_on.wait();
+        result.coalesced = true;
+      }
+      try {
+        const bool coalesced = result.coalesced;
+        {
+          ScopedSpan run_span(trace, task.role == Role::kLeader ? "lead_build"
+                                                                : "run");
+          result = RunQuery(task.request);
+        }
+        result.coalesced = coalesced;
+      } catch (const EnumerationCapError& e) {
+        // Structured: clients can distinguish "raise atom_cap and retry"
+        // from a malformed request without parsing the message text.
+        result.ok = false;
+        result.error = e.what();
+        result.error_code = EnumerationCapError::kCode;
+      } catch (const std::exception& e) {
+        result.ok = false;
+        result.error = e.what();
+      }
+    }
+    if (task.role == Role::kLeader) {
+      // Resolve the flight whatever happened: joiners proceed (a failed
+      // leader's joiners retry the build themselves through the ordinary
+      // cache path) and the key becomes eligible for a fresh flight.
+      {
+        std::lock_guard<std::mutex> flock(flights_mutex_);
+        flights_.erase(task.graph_key);
+      }
+      task.lead_done->set_value();
+    }
+    // Sweep only when something was actually written to the disk tier
+    // since this query started — cache-hot replay traffic must not pay an
+    // O(files) directory scan per query.
+    if (result.ok &&
+        (options_.store_max_bytes > 0 || options_.store_max_files > 0) &&
+        cache_.store_writes() != store_writes_before) {
+      cache_.SweepStore(options_.store_max_bytes, options_.store_max_files);
     }
   }
-  if (task.role == Role::kLeader) {
-    // Resolve the flight whatever happened: joiners proceed (a failed
-    // leader's joiners retry the build themselves through the ordinary
-    // cache path) and the key becomes eligible for a fresh flight.
-    {
-      std::lock_guard<std::mutex> flock(flights_mutex_);
-      flights_.erase(task.graph_key);
-    }
-    task.lead_done->set_value();
-  }
-  // Sweep only when something was actually written to the disk tier
-  // since this query started — cache-hot replay traffic must not pay an
-  // O(files) directory scan per query.
-  if (result.ok &&
-      (options_.store_max_bytes > 0 || options_.store_max_files > 0) &&
-      cache_.store_writes() != store_writes_before) {
-    cache_.SweepStore(options_.store_max_bytes, options_.store_max_files);
-  }
+  result.trace = task.request.trace;
   result.latency_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
           .count();
+  latency_hist_->Observe(result.latency_ms);
+  queue_wait_hist_->Observe(std::chrono::duration<double, std::milli>(
+                                start - task.submitted_at)
+                                .count());
+  RecentQuery entry;
+  entry.key = task.graph_key.empty() ? std::string() : HashedKey(task.graph_key);
+  entry.kind = QueryKindName(task.request.kind);
+  entry.ok = result.ok;
+  entry.nonempty = result.nonempty;
+  entry.coalesced = result.coalesced;
+  entry.from_cache = result.stats.graph_from_cache;
+  entry.resumed = result.stats.graph_resumed;
+  entry.traced = trace != nullptr;
+  entry.latency_ms = result.latency_ms;
+  if (trace != nullptr) {
+    // Where the time went, by span name — the closed "query" root makes
+    // the rollup cover the whole service-side path.
+    std::map<std::string, double> by_name;
+    for (const TraceSpan& span : trace->Snapshot()) {
+      by_name[span.name] += static_cast<double>(span.duration_ns) / 1e6;
+    }
+    entry.span_rollup.assign(by_name.begin(), by_name.end());
+  }
   {
     std::lock_guard<std::mutex> slock(stats_mutex_);
-    if (latency_samples_ms_.size() < kMaxLatencySamples) {
-      latency_samples_ms_.push_back(result.latency_ms);
-    } else {
-      latency_samples_ms_[completed_ % kMaxLatencySamples] =
-          result.latency_ms;
-    }
     ++completed_;
     if (!result.ok) ++failed_;
     members_enumerated_ += result.stats.members_enumerated;
     members_generated_ += result.stats.members_generated;
+    if (options_.recent_capacity > 0) {
+      entry.seq = ++recent_seq_;
+      recent_.push_back(std::move(entry));
+      if (recent_.size() > options_.recent_capacity) recent_.pop_front();
+    }
   }
   return result;
+}
+
+std::vector<RecentQuery> QueryService::Recent() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return std::vector<RecentQuery>(recent_.begin(), recent_.end());
 }
 
 std::uint64_t QueryService::Pending() const {
@@ -445,7 +544,6 @@ std::string QueryService::TryAttachStore(const std::string& dir) {
 
 ServiceStats QueryService::Stats() const {
   ServiceStats stats;
-  std::vector<double> samples;
   {
     std::lock_guard<std::mutex> slock(stats_mutex_);
     stats.queries = completed_;
@@ -456,7 +554,6 @@ ServiceStats QueryService::Stats() const {
     stats.resume_coalesced = resume_coalesced_;
     stats.members_enumerated = members_enumerated_;
     stats.members_generated = members_generated_;
-    samples = latency_samples_ms_;
   }
   {
     std::lock_guard<std::mutex> qlock(queue_mutex_);
@@ -479,16 +576,13 @@ ServiceStats QueryService::Stats() const {
     stats.store_repacks = counters.repacks;
     stats.store_pack_entries = store->PackEntryCount();
   }
-  if (!samples.empty()) {
-    auto percentile = [&samples](double p) {
-      const std::size_t idx = static_cast<std::size_t>(
-          p * static_cast<double>(samples.size() - 1));
-      std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
-      return samples[idx];
-    };
-    stats.p50_latency_ms = percentile(0.50);
-    stats.p95_latency_ms = percentile(0.95);
-  }
+  stats.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+  stats.p50_latency_ms = latency_hist_->Quantile(0.50);
+  stats.p95_latency_ms = latency_hist_->Quantile(0.95);
+  stats.p99_latency_ms = latency_hist_->Quantile(0.99);
   return stats;
 }
 

@@ -40,6 +40,7 @@
 #ifndef AMALGAM_SERVICE_SERVICE_H_
 #define AMALGAM_SERVICE_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -52,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/query.h"
 #include "solver/cache.h"
 
@@ -74,6 +76,14 @@ class QueryService {
     /// that wrote to the store (0 = unlimited).
     std::uint64_t store_max_bytes = 0;
     std::uint64_t store_max_files = 0;
+    /// The registry the service's latency/queue-wait histograms live in
+    /// (amalgamd passes &MetricsRegistry::Global()). Null — the default —
+    /// gives the service a private registry, so embedded services and
+    /// tests never pollute process-global metric state.
+    MetricsRegistry* metrics = nullptr;
+    /// Completed queries remembered by the recent-query ring (Recent(),
+    /// the {"op":"recent"} admin op). 0 disables the ring.
+    std::size_t recent_capacity = 128;
   };
 
   QueryService() : QueryService(Options{}) {}
@@ -104,8 +114,18 @@ class QueryService {
 
   /// Aggregated counters + latency percentiles; safe to call concurrently
   /// with running queries (cache counters are atomics, service counters
-  /// are snapshotted under the stats lock).
+  /// are snapshotted under the stats lock). Percentiles come from the
+  /// registry's latency histogram over every completion since startup.
   ServiceStats Stats() const;
+
+  /// The registry holding this service's live histograms (and, in
+  /// amalgamd, every exported counter): Options::metrics, or the private
+  /// per-service registry when none was supplied.
+  MetricsRegistry& metrics() { return *metrics_; }
+
+  /// The most recent completions, oldest first (bounded by
+  /// Options::recent_capacity) — the {"op":"recent"} slow-query log.
+  std::vector<RecentQuery> Recent() const;
 
   /// Queries accepted but not yet finished — the maintenance loop's
   /// cheap idleness probe (Stats() copies the latency ring; this doesn't).
@@ -177,6 +197,9 @@ class QueryService {
     std::shared_ptr<std::promise<void>> lead_done;  // kLeader
     std::shared_future<void> join_on;               // kJoiner
     std::string setup_error;                // non-empty: fail without running
+    // When the task entered the queue; worker pickup minus this is the
+    // queue wait (histogram + retroactive "queue_wait" span).
+    std::chrono::steady_clock::time_point submitted_at;
   };
 
   /// Computes the request's graph cache key (constructing the front
@@ -228,11 +251,6 @@ class QueryService {
   std::unordered_map<std::string, QueryRequest> recipes_;
   std::deque<std::string> recipe_order_;  // insertion order for eviction
 
-  // Percentiles are computed over a bounded ring of the most recent
-  // completions, so a long-lived service neither grows without bound nor
-  // pays ever-larger copies on the stats path.
-  static constexpr std::size_t kMaxLatencySamples = 4096;
-
   // Guards the one-directory-per-service disk-tier attachment.
   std::mutex store_attach_mutex_;
   std::string attached_store_dir_;
@@ -246,7 +264,20 @@ class QueryService {
   std::uint64_t resume_coalesced_ = 0;
   std::uint64_t members_enumerated_ = 0;
   std::uint64_t members_generated_ = 0;
-  std::vector<double> latency_samples_ms_;  // ring, capped at kMaxLatencySamples
+  // The recent-query ring, oldest first; bounded by
+  // options_.recent_capacity.
+  std::deque<RecentQuery> recent_;
+  std::uint64_t recent_seq_ = 0;
+
+  // Options::metrics, or owned_metrics_ when none was supplied. The
+  // histograms are registry-owned; the pointers are hot-path shortcuts
+  // resolved once in the constructor.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricHistogram* latency_hist_ = nullptr;
+  MetricHistogram* queue_wait_hist_ = nullptr;
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 
   std::vector<std::thread> workers_;
 };

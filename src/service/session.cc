@@ -169,6 +169,21 @@ Session::LineOutcome Session::HandleLine(const std::string& line) {
                                       options_.maintenance->GetStats());
       }});
       return LineOutcome::kContinue;
+    case ProtocolRequest::Op::kMetrics:
+      // Deliberately no Drain: a scrape is a cheap point-in-time snapshot
+      // (Prometheus hits it on a schedule), and the FIFO already puts it
+      // after every earlier response on this connection.
+      Push(Item{[this, request = std::move(request)] {
+        ExportServiceStats(SnapshotStats(), service_.metrics());
+        return FormatMetricsResponse(request,
+                                     service_.metrics().RenderPrometheus());
+      }});
+      return LineOutcome::kContinue;
+    case ProtocolRequest::Op::kRecent:
+      Push(Item{[this, request = std::move(request)] {
+        return FormatRecentResponse(request, service_.Recent());
+      }});
+      return LineOutcome::kContinue;
     case ProtocolRequest::Op::kDrain:
       Push(Item{[this, request = std::move(request)] {
         service_.Drain();

@@ -1,5 +1,7 @@
 #include "solver/branching.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -26,7 +28,9 @@ BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
                                              const FraisseClass& cls,
                                              GraphCache* cache,
                                              int num_threads,
-                                             const std::string& store_dir) {
+                                             const std::string& store_dir,
+                                             TraceRecorder* trace) {
+  ScopedSpan solve_span(trace, "solve");
   const DdsSystem& skel = system.skeleton();
   // The guard set, flattened in (rule, branch) order: the graph's guard
   // indices are flattened branch ids.
@@ -64,12 +68,20 @@ BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
   std::string cache_key;
   if (cache) {
     cache_key = GraphCache::Key(cls, k, guards);
-    std::shared_ptr<const SubTransitionGraph> hit =
-        cache->Lookup(cache_key, cls.schema(), guards, k);
+    std::shared_ptr<const SubTransitionGraph> hit;
+    {
+      ScopedSpan lookup_span(trace, "cache_lookup");
+      hit = cache->Lookup(cache_key, cls.schema(), guards, k, trace);
+      lookup_span.Annotate("hit", std::uint64_t{hit != nullptr});
+      lookup_span.Annotate("complete", std::uint64_t{hit && hit->complete()});
+    }
     result.stats.graph_from_cache = hit != nullptr;
     if (hit && hit->complete()) {
       graph = std::move(hit);
     } else if (hit) {
+      solve_span.Annotate("resumed_from_phase",
+                          static_cast<std::uint64_t>(hit->cursor().phase));
+      solve_span.Annotate("resumed_from_member", hit->cursor().next_member);
       resumed = std::make_shared<SubTransitionGraph>(*hit);
       result.stats.graph_resumed = true;
     }
@@ -77,14 +89,22 @@ BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
   if (!graph) {
     auto built = resumed ? std::move(resumed)
                          : std::make_shared<SubTransitionGraph>(guards, k);
-    if (num_threads > 1) {
-      built->BuildFullParallel(cls, num_threads, result.stats);
-    } else {
-      built->BuildFull(cls, result.stats);
+    {
+      ScopedSpan build_span(trace, "full_build");
+      if (num_threads > 1) {
+        built->BuildFullParallel(cls, num_threads, result.stats);
+      } else {
+        built->BuildFull(cls, result.stats);
+      }
+      build_span.Annotate("threads",
+                          static_cast<std::uint64_t>(std::max(1, num_threads)));
+      build_span.Annotate("members_generated", result.stats.members_generated);
+      build_span.Annotate("edges", built->num_edges());
     }
-    if (cache) cache->Insert(cache_key, built);
+    if (cache) cache->Insert(cache_key, built, trace);
     graph = std::move(built);
   }
+  ScopedSpan fixpoint_span(trace, "fixpoint");
 
   const int num_shapes = graph->num_shapes();
   const int num_states = skel.num_states();

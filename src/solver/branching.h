@@ -84,12 +84,13 @@ struct BranchingSolveResult {
 /// `num_threads` > 1 shards the joint-member sweep of a fresh or resumed
 /// build across worker threads (BuildFullParallel); the deterministic
 /// merge keeps the graph — and hence the fixpoint and the verdict —
-/// identical to a serial build.
-BranchingSolveResult SolveBranchingEmptiness(const BranchingSystem& system,
-                                             const FraisseClass& cls,
-                                             GraphCache* cache = nullptr,
-                                             int num_threads = 1,
-                                             const std::string& store_dir = "");
+/// identical to a serial build. A non-null `trace` records a "solve" span
+/// with cache_lookup / full_build / fixpoint children (and the resume
+/// annotations when a partial entry was picked up).
+BranchingSolveResult SolveBranchingEmptiness(
+    const BranchingSystem& system, const FraisseClass& cls,
+    GraphCache* cache = nullptr, int num_threads = 1,
+    const std::string& store_dir = "", TraceRecorder* trace = nullptr);
 
 }  // namespace amalgam
 

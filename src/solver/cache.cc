@@ -94,7 +94,7 @@ std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
 
 std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
     const std::string& key, const SchemaRef& schema,
-    std::span<const FormulaRef> guards, int k) {
+    std::span<const FormulaRef> guards, int k, TraceRecorder* trace) {
   std::shared_ptr<const GraphStore> store;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -111,7 +111,21 @@ std::shared_ptr<const SubTransitionGraph> GraphCache::Lookup(
   if (store) {
     // Disk I/O outside the mutex — concurrent queries for other keys (or
     // this one) proceed instead of convoying behind the read.
+    ScopedSpan load_span(trace, "store_load");
+    // Which tier served the load is only visible through the store's own
+    // counters; the delta is exact because a Load bumps exactly one of
+    // them. Only traced queries pay for the extra snapshot.
+    StoreCounters before{};
+    if (trace != nullptr) before = store->counters();
     GraphStore::LoadResult loaded = store->Load(key, schema, guards, k);
+    if (trace != nullptr) {
+      const StoreCounters after = store->counters();
+      load_span.Annotate("tier",
+                         after.loose_loads > before.loose_loads  ? "loose"
+                         : after.pack_loads > before.pack_loads  ? "pack"
+                                                                 : "miss");
+      load_span.Annotate("found", std::uint64_t{loaded.graph != nullptr});
+    }
     if (loaded.graph) {
       std::shared_ptr<const SubTransitionGraph> graph = std::move(loaded.graph);
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -140,7 +154,8 @@ std::shared_ptr<const SubTransitionGraph> GraphCache::Peek(
 }
 
 void GraphCache::Insert(const std::string& key,
-                        std::shared_ptr<const SubTransitionGraph> graph) {
+                        std::shared_ptr<const SubTransitionGraph> graph,
+                        TraceRecorder* trace) {
   if (!graph) {
     throw std::invalid_argument("GraphCache cannot store a null graph");
   }
@@ -154,8 +169,13 @@ void GraphCache::Insert(const std::string& key,
   // Write-through outside the mutex. Save is progress-guarded on its own
   // (it peeks the incumbent file's header), so racing writers cannot
   // regress the persisted trajectory even without the lock.
-  if (to_write && store && store->Save(key, *to_write)) {
-    store_writes_.fetch_add(1, std::memory_order_relaxed);
+  if (to_write && store) {
+    ScopedSpan save_span(trace, "store_save");
+    const bool accepted = store->Save(key, *to_write);
+    save_span.Annotate("accepted", std::uint64_t{accepted});
+    if (accepted) {
+      store_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

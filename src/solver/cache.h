@@ -40,6 +40,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "solver/graph.h"
 
 namespace amalgam {
@@ -92,10 +93,13 @@ class GraphCache {
   /// further along. A missing, corrupt or truncated file counts as a miss
   /// (plus store_load_failures() when a file was present) and the caller
   /// builds fresh. The returned graph may be partial — check complete()
-  /// and resume from cursor() on a copy.
+  /// and resume from cursor() on a copy. A non-null `trace` records the
+  /// disk read as a "store_load" span annotated with the serving tier
+  /// (loose/pack/miss).
   std::shared_ptr<const SubTransitionGraph> Lookup(
       const std::string& key, const SchemaRef& schema,
-      std::span<const FormulaRef> guards, int k);
+      std::span<const FormulaRef> guards, int k,
+      TraceRecorder* trace = nullptr);
 
   /// The memory-tier entry for `key` without counting a hit or miss and
   /// without freshening its eviction rank — a pure side-effect-free probe
@@ -110,9 +114,12 @@ class GraphCache {
   /// a complete entry is never downgraded and re-inserting equal progress
   /// is a no-op ("first insert wins" for complete graphs, as before).
   /// Accepted inserts are written through to the attached store, outside
-  /// the map mutex. Throws std::invalid_argument on a null graph.
+  /// the map mutex. Throws std::invalid_argument on a null graph. A
+  /// non-null `trace` records the write-through as a "store_save" span
+  /// annotated with whether the store accepted it.
   void Insert(const std::string& key,
-              std::shared_ptr<const SubTransitionGraph> graph);
+              std::shared_ptr<const SubTransitionGraph> graph,
+              TraceRecorder* trace = nullptr);
 
   /// Applies GraphStore::Sweep(max_bytes, max_files) to the attached disk
   /// tier (no-op without one), outside the map mutex. Returns what was

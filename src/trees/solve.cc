@@ -10,7 +10,8 @@ TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
                                    int extra_pattern_cap,
                                    SolveStrategy strategy,
                                    GraphCache* cache, int num_threads,
-                                   const std::string& store_dir) {
+                                   const std::string& store_dir,
+                                   TraceRecorder* trace) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "tree emptiness requires at least one register");
@@ -22,6 +23,7 @@ TreeSolveResult SolveTreeEmptiness(const DdsSystem& system,
   options.cache = cache;
   options.num_threads = num_threads;
   options.store_dir = store_dir;
+  options.trace = trace;
   SolveResult generic = SolveEmptiness(system, cls, options);
   TreeSolveResult result;
   result.nonempty = generic.nonempty;

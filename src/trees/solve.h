@@ -41,13 +41,14 @@ struct TreeSolveResult {
 /// (SolveOptions::store_dir) for cross-process reuse. `num_threads` > 1
 /// shards complete-graph builds (the eager strategy) across worker threads
 /// behind the deterministic merge; verdicts and graphs match the serial
-/// build bit for bit.
+/// build bit for bit. A non-null `trace` is passed through as
+/// SolveOptions::trace — the engine records its "solve" span tree into it.
 TreeSolveResult SolveTreeEmptiness(
     const DdsSystem& system, const TreeAutomaton& automaton,
     int witness_size_cap = 6, int extra_pattern_cap = 4,
     SolveStrategy strategy = SolveStrategy::kOnTheFly,
     GraphCache* cache = nullptr, int num_threads = 1,
-    const std::string& store_dir = "");
+    const std::string& store_dir = "", TraceRecorder* trace = nullptr);
 
 /// Brute force: tries every tree with up to `max_size` nodes.
 std::optional<TreeWitness> BruteForceTreeSearch(const DdsSystem& system,

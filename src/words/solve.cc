@@ -7,7 +7,8 @@ namespace amalgam {
 WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
                                    bool build_witness, SolveStrategy strategy,
                                    GraphCache* cache, int num_threads,
-                                   const std::string& store_dir) {
+                                   const std::string& store_dir,
+                                   TraceRecorder* trace) {
   if (system.num_registers() < 1) {
     throw std::invalid_argument(
         "word emptiness requires at least one register");
@@ -19,6 +20,7 @@ WordSolveResult SolveWordEmptiness(const DdsSystem& system, const Nfa& nfa,
   options.cache = cache;
   options.num_threads = num_threads;
   options.store_dir = store_dir;
+  options.trace = trace;
   SolveResult generic = SolveEmptiness(system, cls, options);
   WordSolveResult result;
   result.nonempty = generic.nonempty;

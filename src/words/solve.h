@@ -43,12 +43,13 @@ struct WordSolveResult {
 /// reuse also works in a fresh process. `num_threads` > 1 shards
 /// complete-graph builds (the eager strategy) across worker threads behind
 /// the deterministic merge; verdicts and graphs match the serial build bit
-/// for bit.
+/// for bit. A non-null `trace` is passed through as SolveOptions::trace —
+/// the engine records its "solve" span tree into it.
 WordSolveResult SolveWordEmptiness(
     const DdsSystem& system, const Nfa& nfa, bool build_witness = true,
     SolveStrategy strategy = SolveStrategy::kOnTheFly,
     GraphCache* cache = nullptr, int num_threads = 1,
-    const std::string& store_dir = "");
+    const std::string& store_dir = "", TraceRecorder* trace = nullptr);
 
 /// Brute-force reference: tries every word of length 1..max_len, returning
 /// the first word of the language driving an accepting run.

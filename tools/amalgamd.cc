@@ -18,9 +18,16 @@
 // Socket clients are multiplexed by an epoll event loop (src/net/server.h)
 // with per-connection admission control (--max-inflight-per-conn; excess
 // query lines get {"ok":false,"error_code":"overloaded"}) and idle
-// reaping (--idle-timeout-ms). Admin ops (stats, sweep, drain, shutdown)
-// answer after every earlier response on that connection; {"op":"shutdown"}
-// stops the whole daemon after flushing every client.
+// reaping (--idle-timeout-ms). Admin ops (stats, sweep, maintain,
+// metrics, recent, drain, shutdown) answer after every earlier response
+// on that connection; {"op":"shutdown"} stops the whole daemon after
+// flushing every client.
+//
+// Observability (docs/OBSERVABILITY.md): every query accepts
+// `"trace":true` and returns its span tree in-band; the process-global
+// metrics registry is scraped via {"op":"metrics"} on any transport, or
+// over plain HTTP with --metrics-tcp PORT (a loopback Prometheus
+// endpoint that works alongside any transport, stdio included).
 //
 //   printf '%s\n' \
 //     '{"id":1,"kind":"system","class":"all","system":"reach_red"}' \
@@ -39,6 +46,8 @@
 #include <utility>
 
 #include "net/server.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "service/maintenance.h"
 #include "service/protocol.h"
 #include "service/service.h"
@@ -81,6 +90,12 @@ void PrintUsage(const char* argv0) {
       "                          pass finds >= N loose files (default 8;\n"
       "                          0 = passes never repack)\n"
       "\n"
+      "observability (see docs/OBSERVABILITY.md):\n"
+      "  --metrics-tcp PORT      serve the metrics registry as a Prometheus\n"
+      "                          text endpoint on http://127.0.0.1:PORT\n"
+      "                          (0 = ephemeral; the bound port is printed\n"
+      "                          to stderr; works with any transport)\n"
+      "\n"
       "--stdio cannot be combined with --uds/--tcp; --uds and --tcp can.\n"
       "Requests are JSONL; see src/service/protocol.h.\n",
       argv0);
@@ -103,6 +118,7 @@ struct Cli {
   bool prewarm = false;
   bool stdio = false;
   bool help = false;
+  int metrics_tcp_port = -1;  // -1 = no metrics endpoint
   std::string error;  // non-empty: reject with this message
 };
 
@@ -152,6 +168,14 @@ Cli ParseArgs(int argc, char** argv) {
           cli.error = "--tcp expects a port in [0, 65535], got " + value;
         } else {
           cli.net.tcp_port = static_cast<int>(n);
+        }
+      }
+    } else if (flag == "--metrics-tcp") {
+      if (need_uint(&n)) {
+        if (n > 65535) {
+          cli.error = "--metrics-tcp expects a port in [0, 65535], got " + value;
+        } else {
+          cli.metrics_tcp_port = static_cast<int>(n);
         }
       }
     } else if (flag == "--max-inflight-per-conn") {
@@ -208,11 +232,57 @@ Cli ParseArgs(int argc, char** argv) {
   return cli;
 }
 
-int RunStdio(amalgam::QueryService& service,
+// The scrape-time stats snapshot: what Session::SnapshotStats assembles
+// for a stats op, minus the per-connection fields (a scrape belongs to no
+// connection).
+amalgam::ServiceStats ScrapeStats(amalgam::QueryService& service,
+                                  const amalgam::ConnectionCounters* counters,
+                                  amalgam::MaintenanceLoop* maintenance) {
+  amalgam::ServiceStats stats = service.Stats();
+  if (counters != nullptr) {
+    stats.connections_open = counters->open.load(std::memory_order_relaxed);
+    stats.connections_opened =
+        counters->opened.load(std::memory_order_relaxed);
+    stats.overload_rejections =
+        counters->overload_rejections.load(std::memory_order_relaxed);
+  }
+  if (maintenance != nullptr) {
+    const amalgam::MaintenanceStats mstats = maintenance->GetStats();
+    stats.maintenance_passes = mstats.passes;
+    stats.partials_completed = mstats.partials_completed;
+    stats.prewarm_loads = mstats.prewarm_loads;
+    stats.repacks = mstats.repacks;
+  }
+  return stats;
+}
+
+// Starts the --metrics-tcp endpoint when asked for. Returns false (after
+// printing the error) when the bind failed — the daemon refuses to start
+// half-observable rather than silently dropping the scrape surface.
+bool StartMetricsEndpoint(amalgam::MetricsHttpServer& server, int port) {
+  if (port < 0) return true;
+  const std::string error = server.Start(port);
+  if (!error.empty()) {
+    std::fprintf(stderr, "amalgamd: --metrics-tcp: %s\n", error.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "amalgamd: metrics on http://127.0.0.1:%d/metrics\n",
+               server.port());
+  return true;
+}
+
+int RunStdio(amalgam::QueryService& service, const Cli& cli,
              amalgam::MaintenanceLoop* maintenance) {
   amalgam::ConnectionCounters counters;
   counters.opened.store(1);
   counters.open.store(1);
+  amalgam::MetricsHttpServer metrics_server(
+      [&service, &counters, maintenance] {
+        amalgam::ExportServiceStats(
+            ScrapeStats(service, &counters, maintenance), service.metrics());
+        return service.metrics().RenderPrometheus();
+      });
+  if (!StartMetricsEndpoint(metrics_server, cli.metrics_tcp_port)) return 1;
   {
     amalgam::Session::Options sopts;
     sopts.id = 1;
@@ -233,6 +303,7 @@ int RunStdio(amalgam::QueryService& service,
     }
     session.Flush();  // EOF/shutdown: every accepted line gets its response
   }  // joins the session writer
+  metrics_server.Stop();  // before counters/maintenance go away
   if (maintenance != nullptr) maintenance->Stop();
   service.Shutdown();
   return 0;
@@ -249,6 +320,14 @@ int RunServer(amalgam::QueryService& service, const Cli& cli,
     std::fprintf(stderr, "amalgamd: %s\n", e.what());
     return 1;
   }
+  amalgam::MetricsHttpServer metrics_server(
+      [&service, &server, maintenance] {
+        amalgam::ExportServiceStats(
+            ScrapeStats(service, &server.counters(), maintenance),
+            service.metrics());
+        return service.metrics().RenderPrometheus();
+      });
+  if (!StartMetricsEndpoint(metrics_server, cli.metrics_tcp_port)) return 1;
   if (!cli.net.uds_path.empty()) {
     std::fprintf(stderr, "amalgamd: listening on unix:%s\n",
                  cli.net.uds_path.c_str());
@@ -258,6 +337,7 @@ int RunServer(amalgam::QueryService& service, const Cli& cli,
                  server.tcp_port());
   }
   server.WaitUntilStopped();  // until a client's {"op":"shutdown"}
+  metrics_server.Stop();      // before the server (and its counters) stops
   server.Stop();              // flushes sessions before the pool goes away
   if (maintenance != nullptr) maintenance->Stop();
   service.Shutdown();
@@ -277,7 +357,11 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0]);
     return 2;
   }
-  amalgam::QueryService service(cli.service);
+  // The daemon's histograms and exported counters live in the
+  // process-global registry — there is exactly one scrape surface.
+  Cli wired = cli;
+  wired.service.metrics = &amalgam::MetricsRegistry::Global();
+  amalgam::QueryService service(wired.service);
   // Any daemon with a store gets a maintenance loop ({"op":"maintain"}
   // always works); the background thread and prewarm are opt-in flags.
   std::unique_ptr<amalgam::MaintenanceLoop> maintenance;
@@ -298,6 +382,6 @@ int main(int argc, char** argv) {
     }
     maintenance->Start();
   }
-  return cli.stdio ? RunStdio(service, maintenance.get())
+  return cli.stdio ? RunStdio(service, cli, maintenance.get())
                    : RunServer(service, cli, maintenance.get());
 }
